@@ -1,0 +1,80 @@
+"""Section 2.1 ablation: the camps compared at equal silicon.
+
+The paper compares 4-core machines from both camps and notes: "In this
+paper we do not apply constraints on the chip area.  Keeping a constant
+chip area would favor the LC camp ... allowing LC to attain even higher
+performance in heavily multithreaded workloads."  This bench performs the
+constant-area comparison the paper deliberately set aside: a lean CMP
+filling the fat CMP's core-area budget (12 lean cores for 4 fat cores,
+Table 1's 3x ratio) on the saturated workloads.
+"""
+
+from conftest import emit
+
+from repro.core.reporting import format_table, paper_vs_measured
+from repro.simulator.area import area_report, equal_area_lean
+from repro.simulator.configs import BASELINE_L2_MB, fc_cmp, lc_cmp
+
+
+def regenerate(exp) -> str:
+    fc = fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    lc_equal_cores = lc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    lc_equal_area = equal_area_lean(fc, exp.scale)
+    rows = []
+    ratios = {}
+    for kind in ("oltp", "dss"):
+        base = exp.run(fc, kind).ipc
+        for config, label in (
+            (fc, "FC (4 cores)"),
+            (lc_equal_cores, "LC, equal cores (4)"),
+            (lc_equal_area, f"LC, equal area "
+                            f"({lc_equal_area.hierarchy.n_cores} cores)"),
+        ):
+            result = exp.run(config, kind)
+            report = area_report(config)
+            ratios[(kind, label)] = result.ipc / base
+            rows.append([
+                kind.upper(),
+                label,
+                f"{report.core_mm2:.0f}",
+                config.n_hardware_contexts,
+                f"{result.ipc:.2f}",
+                f"{result.ipc / base:.2f}x",
+            ])
+    table = format_table(
+        ["workload", "machine", "core area (mm^2)", "hw contexts",
+         "IPC", "vs FC"],
+        rows,
+        title="Equal-silicon camp comparison (26 MB shared L2)",
+    )
+    claims = paper_vs_measured([
+        ("equal-core-count LC advantage", "~1.7x saturated throughput",
+         "oltp %.2fx, dss %.2fx" % (
+             ratios[("oltp", "LC, equal cores (4)")],
+             ratios[("dss", "LC, equal cores (4)")])),
+        ("constant chip area favors LC further",
+         "LC fits ~3x the cores; 'even higher performance in heavily "
+         "multithreaded workloads'",
+         "oltp %.2fx, dss %.2fx at equal area" % (
+             ratios[("oltp", "LC, equal area (12 cores)")],
+             ratios[("dss", "LC, equal area (12 cores)")])),
+    ])
+    return table + "\n\n" + claims
+
+
+def test_ablation_equal_area(benchmark, exp):
+    text = benchmark.pedantic(regenerate, args=(exp,), rounds=1, iterations=1)
+    emit("Ablation — equal-area camps (Section 2.1)", text)
+    fc = fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    lc4 = lc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    lc_area = equal_area_lean(fc, exp.scale)
+    # Table 1's 3x ratio: 12 lean cores in 4 fat cores' budget.
+    assert lc_area.hierarchy.n_cores == 12
+    assert (area_report(lc_area).core_mm2
+            == __import__("pytest").approx(area_report(fc).core_mm2))
+    for kind in ("oltp", "dss"):
+        ipc_fc = exp.run(fc, kind).ipc
+        ipc_lc4 = exp.run(lc4, kind).ipc
+        ipc_lc12 = exp.run(lc_area, kind).ipc
+        assert ipc_lc4 > ipc_fc          # the paper's 4-core comparison
+        assert ipc_lc12 > ipc_lc4        # equal area favors LC further

@@ -1,0 +1,20 @@
+"""Figure 1: historic trends of on-chip caches — (a) size, (b) latency."""
+
+
+from conftest import emit
+
+from repro.core.historic import (
+    cache_size_trend,
+    growth_factor_per_decade,
+    latency_growth_over_decade,
+    latency_trend,
+)
+from repro.core.reporting import format_series, paper_vs_measured
+from repro.simulator import cacti
+from repro.core.figures import figure1
+
+
+def test_fig1(benchmark):
+    text = benchmark.pedantic(figure1, rounds=1, iterations=1)
+    emit("Figure 1 — historic cache trends", text)
+    assert "Cacti model" in text

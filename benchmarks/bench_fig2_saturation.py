@@ -1,0 +1,22 @@
+"""Figure 2: unsaturated vs saturated workloads (throughput vs clients)."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_series, paper_vs_measured
+from repro.core.sweeps import client_count_sweep
+from repro.core.figures import figure2
+
+CLIENTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def test_fig2(benchmark, exp):
+    text = benchmark.pedantic(figure2, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 2 — saturation curve", text)
+    points = client_count_sweep(exp, "dss", client_counts=CLIENTS)
+    ipcs = [p.result.ipc for p in points]
+    # More clients beat one client; growth flattens (saturation).
+    assert max(ipcs) > ipcs[0] * 1.5
+    growth_early = ipcs[1] / ipcs[0]
+    growth_late = ipcs[-1] / ipcs[-2]
+    assert growth_late < growth_early

@@ -1,0 +1,18 @@
+"""Figure 3: simulator validation against the published hardware CPI stack."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_table, paper_vs_measured
+from repro.core.validation import OPENPOWER720_DSS_CPI, validate
+from repro.core.figures import figure3
+
+
+def test_fig3(benchmark, exp):
+    text = benchmark.pedantic(figure3, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 3 — validation", text)
+    report = validate(exp)
+    # Shape: component shares within 15 points of the published stack and
+    # the two directional observations the paper makes.
+    assert report.within(0.25)
+    assert report.dstall_higher_than_hw

@@ -1,0 +1,21 @@
+"""Figure 4: (a) response time and (b) throughput of LC normalized to FC."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_table, paper_vs_measured
+from repro.simulator.configs import BASELINE_L2_MB, fc_cmp, lc_cmp
+from repro.core.figures import figure4
+
+
+def test_fig4(benchmark, exp):
+    text = benchmark.pedantic(figure4, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 4 — LC vs FC response time and throughput", text)
+    # Shape assertions: LC is slower single-thread, faster saturated.
+    fc = fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    lc = lc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    for kind in ("oltp", "dss"):
+        assert exp.response_ratio(lc, fc, kind) > 1.0
+        assert exp.throughput_ratio(lc, fc, kind) > 1.0
+    # The DSS single-thread gap is wider than the OLTP one (limited ILP).
+    assert exp.response_ratio(lc, fc, "dss") > exp.response_ratio(lc, fc, "oltp")

@@ -1,0 +1,21 @@
+"""Figure 5: execution-time breakdown for all camp x regime x workload cells."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_breakdown_table, paper_vs_measured
+from repro.core.taxonomy import Camp, grid
+from repro.simulator.configs import BASELINE_L2_MB, fc_cmp, lc_cmp
+from repro.core.figures import _config_for_figure5, figure5
+
+
+def test_fig5(benchmark, exp):
+    text = benchmark.pedantic(figure5, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 5 — execution time breakdown", text)
+    # Shape: only the LC/saturated cells hide stalls (computation majority).
+    for cell in grid():
+        result = exp.run_cell(cell, lambda camp: _config_for_figure5(camp, exp.scale))
+        coarse = result.breakdown.coarse()
+        if cell.camp is Camp.LEAN and cell.regime.value == "saturated":
+            assert coarse["computation"] > 0.5
+        assert coarse["d_stalls"] >= coarse["i_stalls"]

@@ -1,0 +1,27 @@
+"""Figure 6: effect of L2 size and latency on throughput and CPI stacks."""
+
+
+from conftest import emit
+
+from repro.core.counters import cpi_stack
+from repro.core.reporting import format_series, format_table, paper_vs_measured
+from repro.core.sweeps import cache_size_sweep
+from repro.simulator import cacti
+from repro.core.figures import figure6
+
+
+def test_fig6(benchmark, exp):
+    text = benchmark.pedantic(figure6, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 6 — cache size and latency effects", text)
+    for kind in ("oltp", "dss"):
+        real = cache_size_sweep(exp, kind)
+        const = cache_size_sweep(exp, kind,
+                                 const_latency=cacti.CONST_L2_LATENCY)
+        # Const-latency curves grow with capacity; real-latency curves
+        # fall below const at large sizes (the divergence of Fig 6a).
+        assert const[-1].result.ipc > const[0].result.ipc
+        assert real[-1].result.ipc < const[-1].result.ipc
+        # L2-hit stall time grows with cache size under real latencies.
+        first, last = real[0].result, real[-1].result
+        assert (last.breakdown.d_onchip / max(1, last.retired)
+                > first.breakdown.d_onchip / max(1, first.retired))

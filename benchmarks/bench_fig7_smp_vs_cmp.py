@@ -1,0 +1,29 @@
+"""Figure 7: effect of chip multiprocessing on CPI (SMP vs CMP)."""
+
+
+from conftest import emit
+
+from repro.core.reporting import (
+    format_breakdown_table,
+    format_table,
+    paper_vs_measured,
+)
+from repro.simulator.configs import fc_cmp, fc_smp
+from repro.core.figures import figure7
+
+
+def test_fig7(benchmark, exp):
+    text = benchmark.pedantic(figure7, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 7 — SMP vs CMP", text)
+    smp = fc_smp(n_nodes=4, private_l2_nominal_mb=4.0, scale=exp.scale)
+    cmp_ = fc_cmp(n_cores=4, l2_nominal_mb=16.0, scale=exp.scale)
+    for kind in ("oltp", "dss"):
+        r_smp = exp.run(smp, kind)
+        r_cmp = exp.run(cmp_, kind)
+        # The CMP performs better and pays more of its time in L2 hits.
+        assert r_cmp.cpi < r_smp.cpi
+        assert (r_cmp.breakdown.d_onchip / max(1, r_cmp.retired)
+                > r_smp.breakdown.d_onchip / max(1, r_smp.retired))
+        # The SMP actually suffers coherence misses; the CMP cannot.
+        assert r_smp.hier_stats.coherence_misses > 0
+        assert r_cmp.hier_stats.coherence_misses == 0

@@ -1,0 +1,24 @@
+"""Figure 8: effect of CMP core count on throughput (16 MB shared L2)."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_series, format_table, paper_vs_measured
+from repro.core.sweeps import core_count_sweep
+from repro.core.figures import figure8
+
+
+def test_fig8(benchmark, exp):
+    text = benchmark.pedantic(figure8, args=(exp,), rounds=1, iterations=1)
+    emit("Figure 8 — core-count scaling", text)
+    for kind in ("oltp", "dss"):
+        points = core_count_sweep(exp, kind)
+        # Throughput grows with cores but OLTP ends sublinear.
+        assert points[-1].result.ipc > points[0].result.ipc
+        by_x = {p.x: p.result for p in points}
+        oltp_eff = (by_x[16.0].ipc / points[0].result.ipc) / 4.0
+        if kind == "oltp":
+            assert oltp_eff < 1.0
+        # Queue pressure grows with core count.
+        assert (by_x[16.0].hier_stats.l2_queue_delay
+                >= by_x[4.0].hier_stats.l2_queue_delay)

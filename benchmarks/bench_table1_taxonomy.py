@@ -1,0 +1,14 @@
+"""Table 1: chip multiprocessor camp characteristics."""
+
+
+from conftest import emit
+
+from repro.core.reporting import format_table
+from repro.core.taxonomy import table1
+from repro.core.figures import table1_text
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(table1_text, rounds=1, iterations=1)
+    emit("Table 1 — camp taxonomy", text)
+    assert "Out-of-order" in text and "In-order" in text

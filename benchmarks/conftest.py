@@ -1,0 +1,26 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmarks share one memoizing :class:`repro.core.Experiment`, so
+simulations that several figures need (e.g. the FC CMP 26 MB baseline) run
+once per session.  Benchmarks run at the study-wide default scale; set
+``REPRO_SCALE=1`` in the environment for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import shared_experiment
+
+
+@pytest.fixture(scope="session")
+def exp():
+    """The session-wide memoizing experiment context."""
+    return shared_experiment()
+
+
+def emit(title: str, body: str) -> None:
+    """Print one regenerated figure with a banner (shown with pytest -s;
+    captured into the benchmark logs otherwise)."""
+    line = "=" * 72
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Microbenchmarks + confidence intervals: the calibration workflow.
+
+Uses the DBmbench-style micro workloads (uSS / uIDX) and the paper's
+paired-measurement statistics to answer a design question cheaply: *does a
+larger L1D help pointer-chasing workloads more than scans?* — running each
+microbenchmark under several seeds and comparing the paired per-seed
+deltas with a 95% confidence interval (the paper's ±5% discipline).
+
+Run:  python examples/microbench_calibration.py
+"""
+
+from repro.core.reporting import format_table
+from repro.core.stats import paired_delta, summarize
+from repro.simulator.configs import fc_cmp
+from repro.simulator.machine import Machine
+from repro.workloads.micro import micro_idx, micro_ss
+
+SEEDS = (11, 23, 37, 51)
+SCALE = 0.1
+
+
+def response(workload, l1d_kb):
+    config = fc_cmp(l2_nominal_mb=8.0, scale=SCALE, l1d_kb=l1d_kb)
+    result = Machine(config).run(workload, mode="response",
+                                 warm_fraction=0.3)
+    return result.response_cycles
+
+
+def measure(make_workload):
+    small, large = [], []
+    for seed in SEEDS:
+        wl = make_workload(seed)
+        small.append(response(wl, l1d_kb=16))
+        large.append(response(wl, l1d_kb=64))
+    return small, large
+
+
+def main() -> None:
+    rows = []
+    gains = {}
+    for name, make in (
+        ("uSS (scan proxy)",
+         lambda seed: micro_ss(n_rows=6000, seed=seed)),
+        ("uIDX (index proxy)",
+         lambda seed: micro_idx(n_probes=800, n_rows=60_000, seed=seed)),
+    ):
+        small, large = measure(make)
+        delta = paired_delta(large, small)  # positive = small L1D slower
+        gain = delta.delta.mean / summarize(large).mean
+        gains[name] = gain
+        rows.append([
+            name,
+            str(summarize(small)),
+            str(summarize(large)),
+            f"{gain:+.1%}",
+            "yes" if delta.significant else "no",
+        ])
+    print(format_table(
+        ["microbenchmark", "16 KB L1D (cycles)", "64 KB L1D (cycles)",
+         "cost of the small L1D", "95% significant"],
+        rows,
+        title=f"L1D sensitivity by access pattern ({len(SEEDS)} seeds, "
+              "paired)",
+    ))
+    print(
+        "\nThe index proxy leans on the L1D far more than the scan proxy —"
+        "\nthe Section 6.2 argument that cache-conscious work must start"
+        "\ntargeting L1D, not just 'bring data on chip'."
+    )
+
+
+if __name__ == "__main__":
+    main()

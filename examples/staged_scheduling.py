@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Staged execution: the paper's Section 6 'opportunity', demonstrated.
+
+Runs the same Q1-style pipeline three ways — the conventional iterator
+model, staged with cohort (producer/consumer same-core) scheduling, and
+staged with the consumer on a remote core — and compares the busy-cycle
+cost per query and the data-stall composition.
+
+Run:  python examples/staged_scheduling.py
+"""
+
+from repro.core.reporting import format_table
+from repro.db.exec import AggSpec, Filter, HashAggregate, SeqScan
+from repro.simulator.configs import fc_cmp
+from repro.simulator.machine import Machine
+from repro.simulator.trace import Workload
+from repro.staged import Router
+from repro.workloads.tpch import (
+    DSS_BRANCH_MPKI,
+    DSS_ILP,
+    DSS_ILP_INORDER,
+    TpchDatabase,
+)
+
+SCALE = 0.1
+ROWS = 4000
+CUTOFF = 1800
+
+
+def session(tpch, name):
+    return tpch.db.session(name, ilp=DSS_ILP, branch_mpki=DSS_BRANCH_MPKI,
+                           ilp_inorder=DSS_ILP_INORDER)
+
+
+def iterator_traces(tpch):
+    sess = session(tpch, "iterator")
+    plan = HashAggregate(
+        sess.ctx,
+        Filter(sess.ctx, SeqScan(sess.ctx, tpch.lineitem, stop=ROWS),
+               lambda r: r[9] <= CUTOFF),
+        lambda r: (r[7], r[8]),
+        [AggSpec("sum", lambda r: r[4] * (1 - r[5]), "revenue")],
+    )
+    plan.execute()
+    return [sess.finish()]
+
+
+def staged_traces(tpch, spread):
+    router = Router(tpch.db)
+    tag = "spread" if spread else "cohort"
+    producer = session(tpch, f"producer-{tag}")
+    consumer = session(tpch, f"consumer-{tag}") if spread else None
+    return router.q1_pipeline(tpch, producer, consumer, 0, ROWS,
+                              cutoff=CUTOFF).traces
+
+
+def measure(traces, label):
+    config = fc_cmp(l2_nominal_mb=26.0, scale=SCALE)
+    workload = Workload(label, traces, kind="dss", saturated=False)
+    result = Machine(config).run(workload, mode="throughput",
+                                 measure_cycles=150_000, warm_fraction=0.5)
+    queries = max(1e-6, min(result.extras["context_progress"]))
+    busy = sum(b.busy for b in result.per_core)
+    return result, busy / queries
+
+
+def main() -> None:
+    tpch = TpchDatabase(scale=SCALE, seed=5)
+    rows = []
+    for label, traces in (
+        ("iterator", iterator_traces(tpch)),
+        ("staged / cohort", staged_traces(tpch, spread=False)),
+        ("staged / spread", staged_traces(tpch, spread=True)),
+    ):
+        result, cost = measure(traces, label)
+        bd = result.breakdown
+        rows.append([
+            label,
+            f"{cost:,.0f}",
+            f"{bd.fraction(bd.d_stalls):.0%}",
+            f"{bd.fraction(bd.d_onchip):.0%}",
+            len(traces),
+        ])
+    print(format_table(
+        ["execution model", "busy cycles / query", "D-stalls",
+         "on-chip D-stalls", "cores used"],
+        rows,
+        title="Q1 pipeline under three execution models (FC CMP, 26 MB)",
+    ))
+    print(
+        "\nCohort scheduling keeps each batch L1-resident between producer"
+        "\nand consumer; the spread schedule ships every batch line across"
+        "\nthe chip — the locality the paper's staged design would protect."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Database Servers on Chip Multiprocessors:
+Limitations and Opportunities" (Hardavellas et al., CIDR 2007).
+
+Subpackages:
+
+- :mod:`repro.simulator` — trace-driven CMP/SMP timing simulator (the
+  FLEXUS analog): caches, coherence, camp core models, machines.
+- :mod:`repro.db` — a from-scratch relational engine (the commercial-DBMS
+  analog): pages, buffer pool, indexes, operators, transactions.
+- :mod:`repro.workloads` — TPC-C-like OLTP and TPC-H-like DSS workloads
+  plus the multi-client driver.
+- :mod:`repro.core` — the characterization framework: taxonomy,
+  execution-time breakdowns, experiments, sweeps, validation, reporting.
+- :mod:`repro.staged` — the Section 6 "opportunities" extension: staged
+  execution with locality-aware scheduling.
+
+Quickstart::
+
+    from repro.core.experiment import Experiment
+    from repro.simulator.configs import fc_cmp
+
+    exp = Experiment(scale=0.25)
+    result = exp.run(fc_cmp(scale=0.25), workload="dss", regime="saturated")
+    print(result.breakdown.coarse())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

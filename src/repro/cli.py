@@ -1,0 +1,103 @@
+"""Command-line runner: regenerate the paper's figures without pytest.
+
+Usage::
+
+    python -m repro list
+    python -m repro table1 fig4 fig5          # specific figures
+    python -m repro all                       # everything (minutes)
+    python -m repro profile oltp              # inspect a workload bundle
+    python -m repro validate                  # the Fig. 3 comparison
+    python -m repro --scale 0.1 fig6          # override the study scale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core import figures
+from .core.experiment import Experiment
+from .workloads.driver import workload_for
+from .workloads.profile import format_profile, profile_workload
+
+#: Figure name -> (callable, needs experiment).
+FIGURES = {
+    "table1": (figures.table1_text, False),
+    "fig1": (figures.figure1, False),
+    "fig2": (figures.figure2, True),
+    "fig3": (figures.figure3, True),
+    "fig4": (figures.figure4, True),
+    "fig5": (figures.figure5, True),
+    "fig6": (figures.figure6, True),
+    "fig7": (figures.figure7, True),
+    "fig8": (figures.figure8, True),
+}
+
+
+def _banner(title: str) -> str:
+    line = "=" * 72
+    return f"{line}\n{title}\n{line}"
+
+
+def run_figures(names: list[str], scale: float | None) -> int:
+    """Regenerate the named figures; returns a process exit code."""
+    exp = Experiment(scale=scale)
+    for name in names:
+        fn, needs_exp = FIGURES[name]
+        start = time.time()
+        text = fn(exp) if needs_exp else fn()
+        print(_banner(f"{name}  (scale {exp.scale:g}, "
+                      f"{time.time() - start:.1f}s)"))
+        print(text)
+        print()
+    return 0
+
+
+def run_profile(kind: str, scale: float | None) -> int:
+    """Print the workload profile for one saturated bundle."""
+    exp = Experiment(scale=scale)
+    workload = workload_for(kind, "saturated", exp.scale)
+    print(format_profile(profile_workload(workload)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Database Servers on Chip "
+                    "Multiprocessors' (CIDR 2007).",
+    )
+    parser.add_argument("--scale", type=float, default=None,
+                        help="study scale factor (default: REPRO_SCALE "
+                             "or 0.25)")
+    parser.add_argument("targets", nargs="*", default=["list"],
+                        help="figure names, 'all', 'list', 'validate', or "
+                             "'profile <oltp|dss>'")
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets) or ["list"]
+    if targets[0] == "list":
+        print("available targets:")
+        for name in FIGURES:
+            print(f"  {name}")
+        print("  all        (every figure)")
+        print("  validate   (Fig. 3 comparison, report only)")
+        print("  profile <oltp|dss>")
+        return 0
+    if targets[0] == "profile":
+        if len(targets) != 2 or targets[1] not in ("oltp", "dss"):
+            print("usage: repro profile <oltp|dss>", file=sys.stderr)
+            return 2
+        return run_profile(targets[1], args.scale)
+    if targets[0] == "validate":
+        return run_figures(["fig3"], args.scale)
+    if targets == ["all"]:
+        targets = list(FIGURES)
+    unknown = [t for t in targets if t not in FIGURES]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)} "
+              f"(try 'list')", file=sys.stderr)
+        return 2
+    return run_figures(targets, args.scale)

@@ -1,0 +1,25 @@
+"""Characterization framework: taxonomy, breakdowns, experiments, reporting.
+
+This package is the paper's *contribution* layer: it defines the camp /
+workload taxonomy (Table 1), the execution-time breakdown (the unit of
+evidence behind every figure), the experiment runner that binds workloads
+to machines, parameter sweeps, the pmcount-style counter interface, and
+the validation harness.
+"""
+
+from .breakdown import Breakdown
+from .taxonomy import Camp, Cell, Regime, WorkloadKind, grid, table1
+
+# NOTE: Experiment lives in repro.core.experiment and is imported from
+# there explicitly; importing it here would close an import cycle through
+# repro.simulator (cores need Breakdown, experiments need machines).
+
+__all__ = [
+    "Breakdown",
+    "Camp",
+    "Cell",
+    "Regime",
+    "WorkloadKind",
+    "grid",
+    "table1",
+]

@@ -1,0 +1,11 @@
+"""Execution-time breakdowns (CPI stacks) — the paper's unit of evidence.
+
+The :class:`Breakdown` type is defined in :mod:`repro.simulator.breakdown`
+(the machines fill it in, so it lives in the base layer); it is re-exported
+here because conceptually it belongs to the characterization framework —
+every figure in the paper is a view over it.
+"""
+
+from ..simulator.breakdown import Breakdown
+
+__all__ = ["Breakdown"]

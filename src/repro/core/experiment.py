@@ -1,0 +1,129 @@
+"""Experiment runner: bind workloads to machines, memoize everything.
+
+An :class:`Experiment` fixes the study-wide scale and seed, builds workload
+bundles on demand (trace generation is the expensive step), and runs
+machine configurations over them.  Results are memoized per
+(machine-config, workload, mode) so every benchmark and figure can ask for
+what it needs without re-simulating shared baselines.
+
+Warm fractions are workload-dependent (DESIGN.md §1): OLTP warms a short
+prefix (its cold row stream must stay cold — the secondary working set is
+unbounded in steady state), DSS warms half (its windows revisit data across
+query rounds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from ..simulator.configs import default_scale
+from ..simulator.machine import (
+    DEFAULT_MEASURE_CYCLES,
+    Machine,
+    MachineConfig,
+    MachineResult,
+)
+from ..simulator.trace import Workload
+from ..workloads.driver import workload_for
+from .taxonomy import Camp, Cell, Regime
+
+#: Fraction of each client trace warmed functionally, per workload kind.
+WARM_FRACTIONS = {"oltp": 0.15, "dss": 0.5}
+
+
+def _config_key(config: MachineConfig) -> tuple:
+    """A hashable identity for a machine configuration."""
+    hier = tuple(
+        (f.name, getattr(config.hierarchy, f.name))
+        for f in fields(config.hierarchy)
+    )
+    return (config.name, config.core, hier, config.smp)
+
+
+class Experiment:
+    """A memoizing facade over workload generation and simulation.
+
+    Args:
+        scale: Study-wide scale factor (defaults to ``REPRO_SCALE`` or
+            0.25 — see :func:`repro.simulator.configs.default_scale`).
+        measure_cycles: Default measurement window for throughput runs.
+    """
+
+    def __init__(self, scale: float | None = None,
+                 measure_cycles: float = DEFAULT_MEASURE_CYCLES):
+        self.scale = default_scale() if scale is None else scale
+        self.measure_cycles = measure_cycles
+        self._results: dict[tuple, MachineResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # Workloads                                                           #
+    # ------------------------------------------------------------------ #
+
+    def workload(self, kind: str, regime: str,
+                 n_clients: int | None = None) -> Workload:
+        """The (memoized) trace bundle for a workload kind and regime."""
+        return workload_for(kind, regime, self.scale, n_clients=n_clients)
+
+    # ------------------------------------------------------------------ #
+    # Running                                                             #
+    # ------------------------------------------------------------------ #
+
+    def run(self, config: MachineConfig, kind: str,
+            regime: str = "saturated", n_clients: int | None = None,
+            measure_cycles: float | None = None) -> MachineResult:
+        """Run (or recall) a throughput/response measurement.
+
+        Unsaturated regimes run in response mode (the paper's metric for
+        them); saturated regimes in throughput mode.
+        """
+        mode = "response" if regime == "unsaturated" else "throughput"
+        cycles = self.measure_cycles if measure_cycles is None else measure_cycles
+        key = (_config_key(config), kind, regime, n_clients, mode, cycles,
+               self.scale)
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        workload = self.workload(kind, regime, n_clients=n_clients)
+        machine = Machine(config)
+        result = machine.run(
+            workload,
+            mode=mode,
+            measure_cycles=cycles,
+            warm_fraction=WARM_FRACTIONS[kind],
+        )
+        self._results[key] = result
+        return result
+
+    def run_cell(self, cell: Cell, config_for_camp) -> MachineResult:
+        """Run one taxonomy cell with ``config_for_camp(camp) -> config``."""
+        config = config_for_camp(cell.camp)
+        return self.run(config, cell.kind.value, cell.regime.value)
+
+    # ------------------------------------------------------------------ #
+    # Convenience metrics                                                 #
+    # ------------------------------------------------------------------ #
+
+    def throughput_ratio(self, num: MachineConfig, den: MachineConfig,
+                         kind: str) -> float:
+        """Saturated throughput of ``num`` normalized to ``den``."""
+        return (self.run(num, kind, "saturated").ipc
+                / self.run(den, kind, "saturated").ipc)
+
+    def response_ratio(self, num: MachineConfig, den: MachineConfig,
+                       kind: str) -> float:
+        """Unsaturated response time of ``num`` normalized to ``den``."""
+        return (self.run(num, kind, "unsaturated").response_cycles
+                / self.run(den, kind, "unsaturated").response_cycles)
+
+
+#: A process-wide default experiment, shared by the benchmark modules so
+#: figures that need the same baseline simulation reuse it.
+_shared: Experiment | None = None
+
+
+def shared_experiment() -> Experiment:
+    """The process-wide memoizing Experiment (created on first use)."""
+    global _shared
+    if _shared is None:
+        _shared = Experiment()
+    return _shared

@@ -1,0 +1,93 @@
+"""Result export: machine results and sweeps as CSV/JSON-able records.
+
+The text reports are for reading; this module is for plotting and
+post-processing — it flattens :class:`~repro.simulator.machine.MachineResult`
+objects and sweep series into plain dictionaries and CSV text with stable
+column names.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+from ..simulator.hierarchy import LEVEL_NAMES
+from ..simulator.machine import MachineResult
+from .sweeps import SweepPoint
+
+
+def result_record(result: MachineResult) -> dict:
+    """Flatten one measurement into a JSON-able record.
+
+    Keys are stable: identification (``config``, ``workload``), the
+    performance metrics, every breakdown component in cycles and as a
+    busy-time fraction, and the hierarchy level mix.
+    """
+    bd = result.breakdown
+    record: dict = {
+        "config": result.config_name,
+        "workload": result.workload_name,
+        "ipc": result.ipc,
+        "cpi": result.cpi if result.retired else None,
+        "retired": result.retired,
+        "elapsed_cycles": result.elapsed,
+        "response_cycles": result.response_cycles,
+        "l2_miss_rate": result.l2_miss_rate,
+        "l2_queue_cycles": result.hier_stats.l2_queue_delay,
+        "coherence_misses": result.hier_stats.coherence_misses,
+    }
+    for name, value in bd.as_dict().items():
+        record[f"cycles_{name}"] = value
+    for name, cycles in (
+        ("computation", bd.computation),
+        ("i_stalls", bd.i_stalls),
+        ("d_stalls", bd.d_stalls),
+        ("d_onchip", bd.d_onchip),
+        ("d_offchip", bd.d_offchip),
+        ("other", bd.other),
+    ):
+        record[f"frac_{name}"] = bd.fraction(cycles)
+    total_refs = max(1, result.hier_stats.data_accesses)
+    for level, name in enumerate(LEVEL_NAMES):
+        record[f"data_from_{name.lower()}"] = (
+            result.hier_stats.data_level_counts[level] / total_refs
+        )
+    return record
+
+
+def sweep_records(points: list[SweepPoint], x_name: str = "x") -> list[dict]:
+    """Flatten a sweep: one record per point with its swept value."""
+    records = []
+    for p in points:
+        record = {x_name: p.x}
+        record.update(result_record(p.result))
+        records.append(record)
+    return records
+
+
+def to_csv(records: list[dict]) -> str:
+    """Render records as CSV text (union of keys, insertion-ordered).
+
+    Raises:
+        ValueError: on an empty record list (no header to derive).
+    """
+    if not records:
+        raise ValueError("no records to export")
+    import csv
+
+    fields: list[str] = []
+    for r in records:
+        for k in r:
+            if k not in fields:
+                fields.append(k)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields)
+    writer.writeheader()
+    for r in records:
+        writer.writerow(r)
+    return buf.getvalue()
+
+
+def to_json(records: list[dict], indent: int = 2) -> str:
+    """Render records as a JSON array."""
+    return json.dumps(records, indent=indent)

@@ -1,0 +1,92 @@
+"""Historic on-chip cache data behind Figure 1.
+
+The paper's Figure 1 plots (a) on-chip cache capacity and (b) L2 hit
+latency across two decades of processors, anchored by the examples it
+names: 4 cycles on the Pentium III era parts, 14 cycles on the 2004 IBM
+Power5, 16 MB on the Dual-Core Xeon 7100 and 24 MB on the dual-core
+Itanium.  This table collects those public data points; the Fig. 1 bench
+prints them alongside our Cacti-model fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorDatum:
+    """One processor's on-chip cache characteristics.
+
+    Attributes:
+        name: Marketing name.
+        year: Volume-availability year.
+        on_chip_cache_kb: Largest on-chip cache level's capacity.
+        l2_hit_latency_cycles: Load-to-use hit latency of that cache
+            (None where not publicly documented).
+    """
+
+    name: str
+    year: int
+    on_chip_cache_kb: int
+    l2_hit_latency_cycles: int | None = None
+
+
+#: Publicly documented processors spanning the paper's two decades.
+PROCESSORS: tuple[ProcessorDatum, ...] = (
+    ProcessorDatum("Intel 486DX", 1989, 8, None),
+    ProcessorDatum("Intel Pentium", 1993, 16, None),
+    ProcessorDatum("DEC Alpha 21164", 1995, 96, 6),
+    ProcessorDatum("Intel Pentium Pro", 1995, 256, 4),
+    ProcessorDatum("Intel Pentium III", 1999, 256, 4),
+    ProcessorDatum("AMD K6-III", 1999, 256, 5),
+    ProcessorDatum("IBM Power4", 2001, 1440, 12),
+    ProcessorDatum("Intel Pentium 4 (Willamette)", 2001, 256, 7),
+    ProcessorDatum("Intel Itanium 2 (McKinley)", 2002, 3072, 5),
+    ProcessorDatum("AMD Opteron", 2003, 1024, 12),
+    ProcessorDatum("IBM Power5", 2004, 1920, 14),
+    ProcessorDatum("Intel Pentium 4 (Prescott)", 2004, 1024, 18),
+    ProcessorDatum("Sun UltraSPARC T1", 2005, 3072, 21),
+    ProcessorDatum("Intel Itanium 2 (9M)", 2005, 9216, 14),
+    ProcessorDatum("Intel Core Duo", 2006, 2048, 14),
+    ProcessorDatum("Dual-Core Intel Xeon 7100", 2006, 16384, 14),
+    ProcessorDatum("Dual-Core Intel Itanium 2 (Montecito)", 2006, 24576, 14),
+)
+
+
+def cache_size_trend() -> list[tuple[int, int]]:
+    """(year, on-chip cache KB) pairs, chronological — Fig. 1(a)."""
+    return sorted((p.year, p.on_chip_cache_kb) for p in PROCESSORS)
+
+
+def latency_trend() -> list[tuple[int, int]]:
+    """(year, L2 hit latency) pairs where documented — Fig. 1(b)."""
+    return sorted(
+        (p.year, p.l2_hit_latency_cycles)
+        for p in PROCESSORS
+        if p.l2_hit_latency_cycles is not None
+    )
+
+
+def growth_factor_per_decade() -> float:
+    """Multiplicative on-chip capacity growth per decade (log-linear fit)."""
+    import math
+
+    pts = cache_size_trend()
+    n = len(pts)
+    xs = [y for y, _ in pts]
+    ys = [math.log(kb) for _, kb in pts]
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    slope = (
+        sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+        / sum((x - mean_x) ** 2 for x in xs)
+    )
+    return math.exp(slope * 10)
+
+
+def latency_growth_over_decade() -> float:
+    """Ratio of mean hit latency in the 2000s to the 1990s (the paper's
+    'more than 3-fold during the past decade')."""
+    early = [lat for y, lat in latency_trend() if y < 2000]
+    late = [lat for y, lat in latency_trend() if y >= 2001]
+    return (sum(late) / len(late)) / (sum(early) / len(early))

@@ -1,0 +1,107 @@
+"""Parameter sweeps behind Figures 2, 6 and 8.
+
+Each sweep returns plain ``(x, MachineResult)`` pairs; the reporting layer
+and the benchmark harness turn them into the paper's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..simulator import cacti
+from ..simulator.configs import FIG6_L2_SIZES_MB, fc_cmp
+from ..simulator.machine import MachineResult
+from .experiment import Experiment
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the swept value and its measurement."""
+
+    x: float
+    result: MachineResult
+
+
+def cache_size_sweep(
+    exp: Experiment,
+    kind: str,
+    sizes_mb: tuple[float, ...] = FIG6_L2_SIZES_MB,
+    const_latency: int | None = None,
+    n_cores: int = 4,
+) -> list[SweepPoint]:
+    """Fig. 6 sweep: saturated throughput vs. shared-L2 size on the FC CMP.
+
+    Args:
+        exp: The experiment context (fixes scale and memoization).
+        kind: ``"oltp"`` or ``"dss"``.
+        sizes_mb: Nominal L2 capacities to sweep.
+        const_latency: Fix the hit latency (the paper's "const" curves);
+            None uses the Cacti model per size ("real" curves).
+        n_cores: Cores on the CMP (4 in the paper's Fig. 6).
+    """
+    points = []
+    for size in sizes_mb:
+        config = fc_cmp(
+            n_cores=n_cores,
+            l2_nominal_mb=size,
+            scale=exp.scale,
+            const_latency=const_latency,
+        )
+        points.append(SweepPoint(x=size, result=exp.run(config, kind)))
+    return points
+
+
+def core_count_sweep(
+    exp: Experiment,
+    kind: str,
+    core_counts: tuple[int, ...] = (4, 8, 12, 16),
+    l2_nominal_mb: float = 16.0,
+) -> list[SweepPoint]:
+    """Fig. 8 sweep: saturated throughput vs. core count at a fixed 16 MB
+    shared L2 on the FC CMP."""
+    points = []
+    for n in core_counts:
+        config = fc_cmp(n_cores=n, l2_nominal_mb=l2_nominal_mb,
+                        scale=exp.scale)
+        points.append(SweepPoint(x=float(n), result=exp.run(config, kind)))
+    return points
+
+
+def client_count_sweep(
+    exp: Experiment,
+    kind: str = "dss",
+    client_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
+    l2_nominal_mb: float = 26.0,
+) -> list[SweepPoint]:
+    """Fig. 2 sweep: throughput vs. concurrent clients on the FC CMP.
+
+    Small client counts leave hardware contexts idle (unsaturated);
+    increasing clients first fills the machine, then over-commits it.
+    """
+    points = []
+    config = fc_cmp(l2_nominal_mb=l2_nominal_mb, scale=exp.scale)
+    for n in client_counts:
+        result = exp.run(config, kind, "saturated", n_clients=n)
+        points.append(SweepPoint(x=float(n), result=result))
+    return points
+
+
+def latency_for_size(size_mb: float, const_latency: int | None) -> int:
+    """The L2 hit latency a sweep point ran with (for reporting)."""
+    if const_latency is not None:
+        return const_latency
+    return cacti.l2_hit_latency(size_mb)
+
+
+def normalized_series(points: list[SweepPoint]) -> list[tuple[float, float]]:
+    """(x, throughput normalized to the first point) pairs."""
+    if not points:
+        return []
+    base = points[0].result.ipc
+    return [(p.x, p.result.ipc / base if base else 0.0) for p in points]
+
+
+def speedup_series(points: list[SweepPoint]) -> list[tuple[float, float]]:
+    """(x, speedup vs. first point scaled by x ratio) — Fig. 8's view,
+    where the first point also defines the linear reference."""
+    return normalized_series(points)

@@ -1,0 +1,131 @@
+"""Computed dense index: B+-tree-shaped access over virtual tables.
+
+Virtual heap files (see :mod:`repro.db.heap`) represent tables far too
+large to materialize — TPC-C's stock and customer relations.  Their primary
+keys are *dense* (0..n-1 after key flattening), so key -> rid needs no
+stored structure; what the characterization needs is the index's *memory
+traffic*: a root-to-leaf chain of DEPENDENT node references whose upper
+levels are hot and whose leaves follow the key distribution.
+
+:class:`ComputedDenseIndex` lays out the node count a real B+-tree of the
+given fanout would have, allocates their pages, and computes each lookup's
+descent path arithmetically.  The emitted references are indistinguishable
+from a real tree's (same depth, same sharing pattern); only the Python-side
+storage is elided — the same substitution the virtual heap makes for data
+pages (DESIGN.md §1).
+"""
+
+from __future__ import annotations
+
+from ..simulator.addresses import PAGE_SIZE, AddressSpace
+from . import costs
+from .tracer import NullTracer
+
+
+class ComputedDenseIndex:
+    """Index over a dense key space [0, n_keys) with B+-tree traffic.
+
+    Args:
+        space: Address space for node pages.
+        name: Index name.
+        n_keys: Size of the dense key space.
+        fanout: Entries per node (drives depth and node count).
+    """
+
+    def __init__(self, space: AddressSpace, name: str, n_keys: int,
+                 fanout: int = 256):
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        if fanout < 4:
+            raise ValueError("fanout must be at least 4")
+        self.name = name
+        self.n_keys = n_keys
+        self.fanout = fanout
+        # Nodes per level, leaf level last.  Level sizes shrink by the
+        # fanout until a single root remains.
+        level_nodes = []
+        n = (n_keys + fanout - 1) // fanout
+        while True:
+            level_nodes.append(n)
+            if n == 1:
+                break
+            n = (n + fanout - 1) // fanout
+        level_nodes.reverse()  # root first
+        self.level_nodes = level_nodes
+        self.height = len(level_nodes)
+        # One region per level, nodes are page-sized.
+        self._level_regions = [
+            space.alloc_pages(f"cindex:{name}:L{i}", count)
+            for i, count in enumerate(level_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count across all levels."""
+        return sum(self.level_nodes)
+
+    def node_addr(self, level: int, node_no: int) -> int:
+        """Address of a node page.
+
+        Raises:
+            IndexError: for an out-of-range level or node number.
+        """
+        if not 0 <= level < self.height:
+            raise IndexError(f"level {level} out of range")
+        if not 0 <= node_no < self.level_nodes[level]:
+            raise IndexError(
+                f"node {node_no} out of range at level {level}"
+            )
+        return self._level_regions[level].base + node_no * PAGE_SIZE
+
+    def descent_path(self, key: int) -> list[int]:
+        """Node addresses visited for ``key``, root to leaf."""
+        if not 0 <= key < self.n_keys:
+            raise KeyError(f"{self.name}: key {key} out of range")
+        path = []
+        # The leaf holding the key, then each ancestor by integer division.
+        node = key // self.fanout
+        nodes = [node]
+        for _ in range(self.height - 1):
+            node //= self.fanout
+            nodes.append(node)
+        nodes.reverse()
+        for level, node_no in enumerate(nodes):
+            path.append(self.node_addr(level, node_no))
+        return path
+
+    def search(self, key: int, tracer: NullTracer = NullTracer()) -> int:
+        """Dense lookup: emits the descent and returns ``key`` as the rid.
+
+        Raises:
+            KeyError: if the key is outside the dense range.
+        """
+        tracer.enter("storage.btree")
+        half = costs.BTREE_NODE_SEARCH // 2
+        for addr in self.descent_path(key):
+            # Two binary-search probes per node, like the real tree.
+            tracer.compute(half)
+            tracer.data(addr + (key % 61) * 16, dependent=True)
+            tracer.compute(costs.BTREE_NODE_SEARCH - half)
+            tracer.data(addr + 2048 + (key % 127) * 16, dependent=True)
+        tracer.compute(costs.BTREE_LEAF_ENTRY)
+        return key
+
+    def range(self, lo: int, hi: int,
+              tracer: NullTracer = NullTracer()):
+        """Dense range scan: one descent, then leaf-sequential entries."""
+        lo = max(lo, 0)
+        hi = min(hi, self.n_keys)
+        if lo >= hi:
+            return
+        self.search(lo, tracer)
+        leaf_region = self._level_regions[-1]
+        for key in range(lo, hi):
+            leaf_no = key // self.fanout
+            tracer.compute(costs.BTREE_LEAF_ENTRY)
+            tracer.data(
+                leaf_region.base + leaf_no * PAGE_SIZE
+                + (key % self.fanout) * 16,
+                dependent=True,
+            )
+            yield key, key

@@ -1,0 +1,165 @@
+"""Aggregation operators: hash group-by and streaming (ungrouped) aggregate.
+
+Hash aggregation's group-table updates are DEPENDENT read-modify-writes
+into the scratch arena; TPC-H Q1's tiny group count keeps the table a few
+hot lines (L1-resident accumulators), while high-cardinality groupings
+(Q13's per-customer counts) spread across a table that competes for L2 —
+both patterns fall out of the actual group keys.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .. import costs
+from ..schema import Schema
+from ..types import float64, int64
+from ..util import stable_hash
+from .base import Operator, QueryContext
+
+#: Bytes per group-table entry (key + a few accumulators).
+_GROUP_ENTRY_BYTES = 64
+
+
+class AggSpec:
+    """One aggregate column: function name + value extractor.
+
+    Supported functions: ``count``, ``sum``, ``avg``, ``min``, ``max``.
+    """
+
+    FUNCTIONS = ("count", "sum", "avg", "min", "max")
+
+    def __init__(self, fn: str, value: Callable[[tuple], float] | None = None,
+                 name: str | None = None):
+        if fn not in self.FUNCTIONS:
+            raise ValueError(f"unknown aggregate {fn!r}")
+        if fn != "count" and value is None:
+            raise ValueError(f"aggregate {fn!r} needs a value extractor")
+        self.fn = fn
+        self.value = value
+        self.name = name or fn
+
+    def init_state(self):
+        if self.fn == "count":
+            return 0
+        if self.fn == "sum":
+            return 0.0
+        if self.fn == "avg":
+            return (0.0, 0)
+        return None  # min/max start empty
+
+    def update(self, state, row):
+        if self.fn == "count":
+            return state + 1
+        v = self.value(row)
+        if self.fn == "sum":
+            return state + v
+        if self.fn == "avg":
+            total, n = state
+            return (total + v, n + 1)
+        if self.fn == "min":
+            return v if state is None else min(state, v)
+        return v if state is None else max(state, v)
+
+    def final(self, state):
+        if self.fn == "avg":
+            total, n = state
+            return total / n if n else None
+        return state
+
+
+class HashAggregate(Operator):
+    """GROUP BY via a hash table of accumulator entries.
+
+    Args:
+        ctx: Query context.
+        child: Input operator.
+        group_key: ``row -> key`` (None for a single global group).
+        aggs: Aggregate column specs.
+        expected_groups: Sizing hint for the scratch group table.
+
+    Output rows are ``(key..., agg...)`` with the key flattened if it is a
+    tuple, in first-seen order.
+    """
+
+    code_region = "exec.aggregate"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 group_key: Callable[[tuple], object] | None,
+                 aggs: list[AggSpec], expected_groups: int = 64):
+        if not aggs:
+            raise ValueError("need at least one aggregate")
+        cols = []
+        if group_key is not None:
+            cols.append(int64("group_key"))
+        for a in aggs:
+            cols.append(float64(a.name) if a.fn != "count" else int64(a.name))
+        super().__init__(ctx, Schema(f"agg({child.schema.name})", cols))
+        self.child = child
+        self.group_key = group_key
+        self.aggs = aggs
+        self.expected_groups = max(1, expected_groups)
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        arena = self.ctx.scratch(
+            "aggregate", self.expected_groups * _GROUP_ENTRY_BYTES
+        )
+        span = max(1, arena.size // _GROUP_ENTRY_BYTES)
+        groups: dict = {}
+        order: list = []
+        key_fn = self.group_key
+        aggs = self.aggs
+        for row in self.child.rows():
+            self._enter()
+            key = key_fn(row) if key_fn is not None else None
+            tracer.compute(costs.HASH_KEY + costs.AGG_UPDATE * len(aggs))
+            slot = stable_hash(key) % span if key is not None else 0
+            tracer.data(arena.base + slot * _GROUP_ENTRY_BYTES,
+                        write=True, dependent=True)
+            state = groups.get(key)
+            if state is None:
+                state = [a.init_state() for a in aggs]
+                groups[key] = state
+                order.append(key)
+            for i, a in enumerate(aggs):
+                state[i] = a.update(state[i], row)
+        for key in order:
+            self._enter()
+            tracer.compute(costs.EMIT_TUPLE)
+            state = groups[key]
+            finals = tuple(a.final(s) for a, s in zip(aggs, state))
+            if key_fn is None:
+                yield finals
+            elif isinstance(key, tuple):
+                yield key + finals
+            else:
+                yield (key,) + finals
+
+
+class StreamAggregate(Operator):
+    """Ungrouped aggregate over the whole input (no hash table)."""
+
+    code_region = "exec.aggregate"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 aggs: list[AggSpec]):
+        if not aggs:
+            raise ValueError("need at least one aggregate")
+        cols = [float64(a.name) if a.fn != "count" else int64(a.name)
+                for a in aggs]
+        super().__init__(ctx, Schema(f"agg({child.schema.name})", cols))
+        self.child = child
+        self.aggs = aggs
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        state = [a.init_state() for a in self.aggs]
+        for row in self.child.rows():
+            self._enter()
+            tracer.compute(costs.AGG_UPDATE * len(self.aggs))
+            for i, a in enumerate(self.aggs):
+                state[i] = a.update(state[i], row)
+        self._enter()
+        tracer.compute(costs.EMIT_TUPLE)
+        yield tuple(a.final(s) for a, s in zip(self.aggs, state))

@@ -1,0 +1,116 @@
+"""Filter and projection operators (pure computation over the pipeline)."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .. import costs
+from ..schema import Schema
+from .base import Operator, QueryContext
+
+
+class Filter(Operator):
+    """Keep rows satisfying a predicate.
+
+    Args:
+        ctx: Query context.
+        child: Input operator.
+        predicate: ``row -> bool``.
+        n_terms: Number of predicate terms (instruction-cost weight).
+    """
+
+    code_region = "exec.filter"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 predicate: Callable[[tuple], bool], n_terms: int = 1):
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.predicate = predicate
+        self._cost = costs.PREDICATE * max(1, n_terms)
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        pred = self.predicate
+        cost = self._cost
+        for row in self.child.rows():
+            self._enter()
+            tracer.compute(cost)
+            if pred(row):
+                yield row
+
+
+class Project(Operator):
+    """Emit a subset (or rearrangement) of columns.
+
+    Args:
+        ctx: Query context.
+        child: Input operator.
+        columns: Column names to keep, in output order.
+    """
+
+    code_region = "exec.project"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 columns: list[str]):
+        out_schema = child.schema.project(columns)
+        super().__init__(ctx, out_schema)
+        self.child = child
+        self._idx = [child.schema.column_index(c) for c in columns]
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        idx = self._idx
+        for row in self.child.rows():
+            self._enter()
+            tracer.compute(costs.EMIT_TUPLE)
+            yield tuple(row[i] for i in idx)
+
+
+class Map(Operator):
+    """Apply an arbitrary row transform (expression evaluation).
+
+    The output schema is declared by the caller since expressions may
+    compute new columns.
+    """
+
+    code_region = "exec.project"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 fn: Callable[[tuple], tuple], out_schema: Schema,
+                 cost: int = costs.EMIT_TUPLE):
+        super().__init__(ctx, out_schema)
+        self.child = child
+        self.fn = fn
+        self._cost = cost
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        fn = self.fn
+        for row in self.child.rows():
+            self._enter()
+            tracer.compute(self._cost)
+            yield fn(row)
+
+
+class Limit(Operator):
+    """Stop after ``n`` rows."""
+
+    code_region = "exec.limit"
+
+    def __init__(self, ctx: QueryContext, child: Operator, n: int):
+        super().__init__(ctx, child.schema)
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    def rows(self) -> Iterator[tuple]:
+        if self.n == 0:
+            return
+        emitted = 0
+        for row in self.child.rows():
+            self._enter()
+            yield row
+            emitted += 1
+            if emitted >= self.n:
+                return

@@ -1,0 +1,113 @@
+"""Sort-merge join: the join for pre-sorted (or index-ordered) inputs.
+
+Complements the hash join: no build table, sequential advance through both
+inputs, and streaming output — the access pattern is two interleaved scans
+plus a small duplicate-buffer, so unlike the hash join's pointer-chasing
+probes it is almost entirely prefetchable.  Used where inputs arrive in
+key order (index scans, sorted spools).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from .. import costs
+from ..schema import Schema
+from .base import Operator, QueryContext
+
+#: Bytes per buffered duplicate-group entry in the scratch arena.
+_GROUP_ENTRY_BYTES = 32
+
+
+class MergeJoin(Operator):
+    """Equi-join of two key-ordered inputs.
+
+    Args:
+        ctx: Query context.
+        left / right: Child operators; both must produce rows in
+            non-decreasing key order (validated during execution).
+        left_key / right_key: ``row -> key`` extractors.
+        out_schema: Output schema (defaults to concatenated columns,
+            with duplicate names suffixed).
+
+    Duplicate keys on both sides produce the full cross product of the
+    matching groups (standard many-to-many merge join semantics).
+
+    Raises:
+        ValueError: at iteration time, if an input is found out of order.
+    """
+
+    code_region = "exec.nljoin"  # shares the simple-join code footprint
+
+    def __init__(self, ctx: QueryContext, left: Operator, right: Operator,
+                 left_key: Callable[[tuple], object],
+                 right_key: Callable[[tuple], object],
+                 out_schema: Schema | None = None):
+        if out_schema is None:
+            from ..types import Column
+            cols = list(left.schema.columns) + list(right.schema.columns)
+            seen: dict[str, int] = {}
+            renamed = []
+            for c in cols:
+                n = seen.get(c.name, 0)
+                seen[c.name] = n + 1
+                if n:
+                    c = Column(f"{c.name}_{n}", c.ctype, c.length)
+                renamed.append(c)
+            out_schema = Schema(
+                f"mergejoin({left.schema.name},{right.schema.name})", renamed
+            )
+        super().__init__(ctx, out_schema)
+        self.left = left
+        self.right = right
+        self.left_key = left_key
+        self.right_key = right_key
+
+    def _checked(self, child: Operator, key_fn, side: str):
+        last = None
+        for row in child.rows():
+            key = key_fn(row)
+            if last is not None and key < last:
+                raise ValueError(
+                    f"MergeJoin: {side} input out of order "
+                    f"({key!r} after {last!r})"
+                )
+            last = key
+            yield key, row
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        arena = self.ctx.scratch("mergejoin", 256 * _GROUP_ENTRY_BYTES)
+        span = arena.size // _GROUP_ENTRY_BYTES
+        left_it = self._checked(self.left, self.left_key, "left")
+        right_it = self._checked(self.right, self.right_key, "right")
+        left_cur = next(left_it, None)
+        right_cur = next(right_it, None)
+        while left_cur is not None and right_cur is not None:
+            self._enter()
+            lkey = left_cur[0]
+            rkey = right_cur[0]
+            tracer.compute(costs.SORT_COMPARE)
+            if lkey < rkey:
+                left_cur = next(left_it, None)
+                continue
+            if rkey < lkey:
+                right_cur = next(right_it, None)
+                continue
+            # Gather the right-side duplicate group for this key.
+            group = []
+            while right_cur is not None and right_cur[0] == lkey:
+                slot = len(group) % span
+                tracer.compute(costs.SORT_MOVE)
+                tracer.data(arena.base + slot * _GROUP_ENTRY_BYTES,
+                            write=True)
+                group.append(right_cur[1])
+                right_cur = next(right_it, None)
+            # Emit the cross product with every matching left row.
+            while left_cur is not None and left_cur[0] == lkey:
+                lrow = left_cur[1]
+                for i, rrow in enumerate(group):
+                    tracer.compute(costs.EMIT_TUPLE)
+                    tracer.data(arena.base + (i % span) * _GROUP_ENTRY_BYTES)
+                    yield lrow + rrow
+                left_cur = next(left_it, None)

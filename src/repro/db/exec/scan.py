@@ -1,0 +1,143 @@
+"""Scan operators: sequential heap scans and index scans.
+
+The sequential scan is the DSS workhorse: page after page, record after
+record, with *independent* (prefetchable) references — the access pattern
+an out-of-order core overlaps well and a single lean context cannot.  The
+index scan is the OLTP workhorse: a DEPENDENT B+-tree descent followed by a
+DEPENDENT record fetch.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from .. import costs
+from ..btree import BTreeIndex
+from ..heap import HeapFile
+from ..page import PageLayout
+from .base import Operator, QueryContext
+
+
+class SeqScan(Operator):
+    """Full (or range-restricted) sequential scan of a heap file.
+
+    Args:
+        ctx: Query context.
+        heap: The heap file to scan.
+        columns: Column names actually read.  With a PAX layout only the
+            named columns' minipages are referenced (the PAX benefit);
+            with NSM the whole record's lines are touched regardless.
+        start/stop: Row-id range to scan (defaults to the whole file).
+    """
+
+    code_region = "exec.seqscan"
+
+    def __init__(self, ctx: QueryContext, heap: HeapFile,
+                 columns: list[str] | None = None,
+                 start: int = 0, stop: int | None = None):
+        super().__init__(ctx, heap.schema)
+        self.heap = heap
+        self._start = start
+        self._stop = heap.n_rows if stop is None else min(stop, heap.n_rows)
+        if columns is None:
+            self._col_idx = list(range(heap.schema.n_columns))
+        else:
+            self._col_idx = [heap.schema.column_index(c) for c in columns]
+        self._pax = heap.format.layout is PageLayout.PAX
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        heap = self.heap
+        fmt = heap.format
+        capacity = fmt.capacity
+        pool = self.ctx.pool
+        rid = self._start
+        while rid < self._stop:
+            page_no, slot = divmod(rid, capacity)
+            base = pool.fetch(heap, page_no, tracer)
+            page_end = min(self._stop, (page_no + 1) * capacity)
+            self._enter()
+            while rid < page_end:
+                slot = rid - page_no * capacity
+                tracer.compute(costs.SCAN_NEXT)
+                # Tuple-at-a-time iteration serializes through the slot
+                # directory and record decode: five sixths of the record
+                # accesses carry a true dependence the out-of-order core
+                # cannot reorder around ("tight data dependencies").
+                dep = rid % 6 != 0
+                if self._pax:
+                    for col in self._col_idx:
+                        tracer.data(fmt.field_addr(base, slot, col),
+                                    dependent=dep, stream=True)
+                else:
+                    tracer.data(fmt.record_addr(base, slot), dependent=dep,
+                                stream=True)
+                    # Wide NSM records span extra lines; touch them too.
+                    width = heap.schema.row_width
+                    if width > 64:
+                        addr = fmt.record_addr(base, slot)
+                        for extra in range(64, width, 64):
+                            tracer.data(addr + extra, stream=True)
+                yield heap.get(rid)
+                rid += 1
+
+
+class IndexScan(Operator):
+    """B+-tree range scan followed by record fetches.
+
+    Yields the row for every index entry with lo <= key < hi (or the key
+    itself when ``fetch_rows`` is False).  Record fetches are DEPENDENT: the
+    address comes from the leaf entry.
+    """
+
+    code_region = "exec.indexscan"
+
+    def __init__(self, ctx: QueryContext, heap: HeapFile, index: BTreeIndex,
+                 lo, hi, fetch_rows: bool = True):
+        super().__init__(ctx, heap.schema)
+        self.heap = heap
+        self.index = index
+        self._lo = lo
+        self._hi = hi
+        self._fetch_rows = fetch_rows
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        heap = self.heap
+        pool = self.ctx.pool
+        for key, rid in self.index.range(self._lo, self._hi, tracer):
+            self._enter()
+            if self._fetch_rows:
+                page_no, _ = heap.locate(rid)
+                pool.fetch(heap, page_no, tracer)
+                tracer.compute(costs.EMIT_TUPLE)
+                tracer.data(heap.record_addr(rid), dependent=True)
+                yield heap.get(rid)
+            else:
+                tracer.compute(costs.EMIT_TUPLE)
+                yield (key, rid)
+
+
+class IndexLookup(Operator):
+    """Point lookup: one key, at most one row."""
+
+    code_region = "exec.indexscan"
+
+    def __init__(self, ctx: QueryContext, heap: HeapFile, index: BTreeIndex,
+                 key):
+        super().__init__(ctx, heap.schema)
+        self.heap = heap
+        self.index = index
+        self._key = key
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        rid = self.index.search(self._key, tracer)
+        if rid is None:
+            return
+        self._enter()
+        page_no, _ = self.heap.locate(rid)
+        self.ctx.pool.fetch(self.heap, page_no, tracer)
+        tracer.compute(costs.EMIT_TUPLE)
+        tracer.data(self.heap.record_addr(rid), dependent=True)
+        yield self.heap.get(rid)

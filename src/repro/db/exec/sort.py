@@ -1,0 +1,119 @@
+"""Sort operator: two-phase materialize-and-sort in the scratch arena.
+
+The sort serializes the pipeline (the paper's Section 6.1 example of a plan
+fragment that cannot be partitioned away).  Memory traffic is modelled as
+two full passes over the materialized run — partitioning writes and the
+sorted-output read — while the comparison work of the full ``n log n``
+sort is charged as computation.  (Emitting a reference per comparison
+would make traces quadratic-ish for no characterization benefit: compares
+hit the same already-resident run.)
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterator
+
+from .. import costs
+from .base import Operator, QueryContext
+
+#: Bytes per materialized sort record (key prefix + payload pointer).
+_RUN_ENTRY_BYTES = 32
+
+
+class Sort(Operator):
+    """Materializing sort.
+
+    Args:
+        ctx: Query context.
+        child: Input operator.
+        key: ``row -> sortable`` extractor.
+        reverse: Descending order if True.
+    """
+
+    code_region = "exec.sort"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 key: Callable[[tuple], object], reverse: bool = False):
+        super().__init__(ctx, child.schema)
+        self.child = child
+        self.key = key
+        self.reverse = reverse
+
+    def rows(self) -> Iterator[tuple]:
+        tracer = self.ctx.tracer
+        rows = []
+        # Materialize the input into the run (write pass).
+        for row in self.child.rows():
+            rows.append(row)
+        n = len(rows)
+        arena = self.ctx.scratch("sort", max(1, n) * _RUN_ENTRY_BYTES)
+        self._enter()
+        for i in range(n):
+            tracer.compute(costs.SORT_MOVE)
+            tracer.data(arena.base + i * _RUN_ENTRY_BYTES, write=True)
+        # The actual sort: n log2 n compares charged as computation.
+        rows.sort(key=self.key, reverse=self.reverse)
+        if n > 1:
+            tracer.compute(int(costs.SORT_COMPARE * n * math.log2(n)))
+        # Sorted-output pass (reads follow the new permutation, so they are
+        # not sequential in the run — emit them in sorted order).
+        for i, row in enumerate(rows):
+            self._enter()
+            tracer.compute(costs.EMIT_TUPLE)
+            tracer.data(arena.base + (i * 7919 % max(1, n)) * _RUN_ENTRY_BYTES)
+            yield row
+
+
+class TopN(Operator):
+    """Heap-based top-N (ORDER BY ... LIMIT N) without full materialization.
+
+    Keeps the N smallest rows by ``key`` (ascending order), or the N
+    largest when ``reverse`` is True.  Keys must be numeric (the heap
+    trick negates them).
+    """
+
+    code_region = "exec.sort"
+
+    def __init__(self, ctx: QueryContext, child: Operator,
+                 key: Callable[[tuple], float], n: int,
+                 reverse: bool = False):
+        super().__init__(ctx, child.schema)
+        if n <= 0:
+            raise ValueError("TopN needs n >= 1")
+        self.child = child
+        self.key = key
+        self.n = n
+        self.reverse = reverse
+
+    def rows(self) -> Iterator[tuple]:
+        import heapq
+
+        tracer = self.ctx.tracer
+        arena = self.ctx.scratch("topn", self.n * _RUN_ENTRY_BYTES)
+        # Min-heap over a transformed key: the root is always the *worst*
+        # kept row, so a better arrival replaces it.
+        heap: list = []
+        counter = 0
+        for row in self.child.rows():
+            self._enter()
+            tracer.compute(costs.SORT_COMPARE)
+            k = self.key(row)
+            transformed = k if self.reverse else -k
+            item = (transformed, counter, row)
+            counter += 1
+            if len(heap) < self.n:
+                heapq.heappush(heap, item)
+                tracer.data(
+                    arena.base + (len(heap) - 1) * _RUN_ENTRY_BYTES,
+                    write=True,
+                )
+            elif item > heap[0]:
+                heapq.heapreplace(heap, item)
+                tracer.compute(costs.SORT_MOVE)
+                tracer.data(arena.base, write=True)
+        # Root-first order is worst-first; emit best-first.
+        for transformed, _, row in sorted(heap, reverse=True):
+            self._enter()
+            tracer.compute(costs.EMIT_TUPLE)
+            yield row

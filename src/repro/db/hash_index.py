@@ -1,0 +1,91 @@
+"""Static hash index: bucket array plus overflow chains.
+
+Used for equality lookups where the workload does not need range access
+(TPC-C customer-by-name style probes).  Probes emit a reference to the
+bucket header followed by DEPENDENT chain-walk references — hash chains are
+the second canonical pointer chase of database code.
+"""
+
+from __future__ import annotations
+
+from ..simulator.addresses import AddressSpace
+from . import costs
+from .util import stable_hash
+from .tracer import NullTracer
+
+#: Bytes per bucket header.
+_BUCKET_BYTES = 16
+#: Bytes per chain entry (key, value, next pointer).
+_ENTRY_BYTES = 24
+
+
+class HashIndex:
+    """An equality index mapping keys to row ids.
+
+    Args:
+        space: Address space for bucket and entry arrays.
+        name: Index name.
+        n_buckets: Bucket count (fixed; chains absorb overflow).
+    """
+
+    def __init__(self, space: AddressSpace, name: str, n_buckets: int = 1024):
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        self.name = name
+        self.n_buckets = n_buckets
+        self._buckets: list[list[tuple]] = [[] for _ in range(n_buckets)]
+        self._bucket_region = space.alloc(
+            f"hashidx:{name}:buckets", n_buckets * _BUCKET_BYTES
+        )
+        # Entries are allocated from a growable arena; chains are linked
+        # lists through it, so consecutive entries of one chain are *not*
+        # adjacent — the realistic pointer-chase layout.
+        self._entry_region = space.alloc(
+            f"hashidx:{name}:entries", max(n_buckets, 1024) * _ENTRY_BYTES * 8
+        )
+        self._n_entries = 0
+
+    def _bucket_of(self, key) -> int:
+        return stable_hash(key) % self.n_buckets
+
+    def _bucket_addr(self, bucket: int) -> int:
+        return self._bucket_region.base + bucket * _BUCKET_BYTES
+
+    def _entry_addr(self, entry_no: int) -> int:
+        span = self._entry_region.size // _ENTRY_BYTES
+        return self._entry_region.base + (entry_no % span) * _ENTRY_BYTES
+
+    @property
+    def n_entries(self) -> int:
+        """Total entries in the index."""
+        return self._n_entries
+
+    def insert(self, key, value, tracer: NullTracer = NullTracer()) -> None:
+        """Insert ``key -> value`` (duplicates keep both)."""
+        tracer.enter("storage.hashindex")
+        bucket = self._bucket_of(key)
+        tracer.compute(costs.HASH_KEY)
+        tracer.data(self._bucket_addr(bucket), dependent=True)
+        entry_no = self._n_entries
+        self._buckets[bucket].append((key, value, entry_no))
+        self._n_entries += 1
+        tracer.compute(costs.HASH_INSERT)
+        tracer.data(self._entry_addr(entry_no), write=True)
+
+    def search(self, key, tracer: NullTracer = NullTracer()) -> list:
+        """Return all values for ``key`` (empty list when absent)."""
+        tracer.enter("storage.hashindex")
+        bucket = self._bucket_of(key)
+        tracer.compute(costs.HASH_KEY)
+        tracer.data(self._bucket_addr(bucket), dependent=True)
+        out = []
+        for entry_key, value, entry_no in self._buckets[bucket]:
+            tracer.compute(costs.HASH_CHAIN_STEP)
+            tracer.data(self._entry_addr(entry_no), dependent=True)
+            if entry_key == key:
+                out.append(value)
+        return out
+
+    def chain_length(self, key) -> int:
+        """Length of the chain the key hashes to (for tests/tuning)."""
+        return len(self._buckets[self._bucket_of(key)])

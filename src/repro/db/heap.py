@@ -1,0 +1,173 @@
+"""Heap files: row storage over extents of pages in the address space.
+
+Two storage modes share one interface:
+
+- *materialized*: rows are Python tuples appended at runtime (the mutable
+  OLTP tables and all small tables);
+- *virtual*: rows are produced by a deterministic ``row_source(rid)``
+  function with a copy-on-write overlay for updates.  This is how the
+  multi-gigabyte TPC-C/TPC-H fact tables are represented without holding
+  them in Python memory — only their *addresses* matter to the simulated
+  caches (DESIGN.md §1, scaling substitutions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from ..simulator.addresses import PAGE_SIZE, AddressSpace, Region
+from .page import PageFormat, PageLayout
+from .schema import Schema
+
+#: Pages allocated per extent.
+EXTENT_PAGES = 256
+
+
+class HeapFile:
+    """A heap of fixed-width records for one relation.
+
+    Args:
+        space: Address space to allocate page extents from.
+        schema: Relation schema.
+        name: Relation name (labels the address regions).
+        layout: NSM or PAX page layout.
+        n_virtual_rows: If > 0, the file is virtual with this many rows.
+        row_source: Generator for virtual rows; required when
+            ``n_virtual_rows`` > 0.
+    """
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        schema: Schema,
+        name: str,
+        layout: PageLayout = PageLayout.NSM,
+        n_virtual_rows: int = 0,
+        row_source: Callable[[int], tuple] | None = None,
+    ):
+        if n_virtual_rows > 0 and row_source is None:
+            raise ValueError("virtual heap files need a row_source")
+        self._space = space
+        self.schema = schema
+        self.name = name
+        self.format = PageFormat(schema, layout)
+        self._extents: list[Region] = []
+        self._rows: list[tuple] = []
+        self._virtual_rows = n_virtual_rows
+        self._row_source = row_source
+        self._overlay: dict[int, tuple] = {}
+        if n_virtual_rows:
+            self._reserve_pages(self.n_pages)
+
+    # ------------------------------------------------------------------ #
+    # Geometry                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for generator-backed files."""
+        return self._virtual_rows > 0
+
+    @property
+    def n_rows(self) -> int:
+        """Row count."""
+        return self._virtual_rows if self.is_virtual else len(self._rows)
+
+    @property
+    def n_pages(self) -> int:
+        """Pages needed for the current row count."""
+        cap = self.format.capacity
+        return (self.n_rows + cap - 1) // cap
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Address-space bytes the data occupies (pages, not extents)."""
+        return self.n_pages * PAGE_SIZE
+
+    def _reserve_pages(self, n_pages: int) -> None:
+        have = len(self._extents) * EXTENT_PAGES
+        while have < n_pages:
+            ext = self._space.alloc_pages(
+                f"table:{self.name}:x{len(self._extents)}", EXTENT_PAGES
+            )
+            self._extents.append(ext)
+            have += EXTENT_PAGES
+
+    def page_base(self, page_no: int) -> int:
+        """Base address of page ``page_no``.
+
+        Raises:
+            IndexError: if the page has not been allocated.
+        """
+        ext_idx, off = divmod(page_no, EXTENT_PAGES)
+        if ext_idx >= len(self._extents):
+            raise IndexError(f"{self.name}: page {page_no} not allocated")
+        return self._extents[ext_idx].base + off * PAGE_SIZE
+
+    def locate(self, rid: int) -> tuple[int, int]:
+        """Map a row id to (page_no, slot)."""
+        return divmod(rid, self.format.capacity)
+
+    def record_addr(self, rid: int) -> int:
+        """Address of the record's first byte."""
+        page_no, slot = self.locate(rid)
+        return self.format.record_addr(self.page_base(page_no), slot)
+
+    def field_addr(self, rid: int, col: int) -> int:
+        """Address of one field of the record."""
+        page_no, slot = self.locate(rid)
+        return self.format.field_addr(self.page_base(page_no), slot, col)
+
+    def record_lines(self, rid: int) -> list[int]:
+        """Line-aligned addresses covering the whole record."""
+        page_no, slot = self.locate(rid)
+        return self.format.record_lines(self.page_base(page_no), slot)
+
+    # ------------------------------------------------------------------ #
+    # Row storage                                                         #
+    # ------------------------------------------------------------------ #
+
+    def append(self, row: tuple) -> int:
+        """Append a row; returns its rid.  Materialized files only."""
+        if self.is_virtual:
+            raise TypeError(f"{self.name}: cannot append to a virtual heap")
+        if len(row) != self.schema.n_columns:
+            raise ValueError(
+                f"{self.name}: row arity {len(row)} != "
+                f"{self.schema.n_columns}"
+            )
+        rid = len(self._rows)
+        self._rows.append(tuple(row))
+        self._reserve_pages(self.n_pages)
+        return rid
+
+    def get(self, rid: int) -> tuple:
+        """Fetch a row by rid.
+
+        Raises:
+            IndexError: for an out-of-range rid.
+        """
+        if not 0 <= rid < self.n_rows:
+            raise IndexError(f"{self.name}: rid {rid} out of range")
+        if self.is_virtual:
+            row = self._overlay.get(rid)
+            if row is None:
+                row = self._row_source(rid)
+            return row
+        return self._rows[rid]
+
+    def set_field(self, rid: int, col: int, value) -> tuple:
+        """Update one field in place; returns the new row."""
+        old = self.get(rid)
+        new = old[:col] + (value,) + old[col + 1:]
+        if self.is_virtual:
+            self._overlay[rid] = new
+        else:
+            self._rows[rid] = new
+        return new
+
+    def scan(self, start: int = 0, stop: int | None = None) -> Iterator[tuple[int, tuple]]:
+        """Yield (rid, row) for rids in [start, stop)."""
+        stop = self.n_rows if stop is None else min(stop, self.n_rows)
+        for rid in range(start, stop):
+            yield rid, self.get(rid)

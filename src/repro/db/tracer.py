@@ -1,0 +1,158 @@
+"""The engine-to-simulator bridge: record memory references while executing.
+
+Every storage and execution component calls into the active tracer:
+
+- :meth:`MemoryTracer.enter` when control moves into a code module (so the
+  instruction-fetch model sees the real code-footprint switching pattern);
+- :meth:`MemoryTracer.compute` to charge instructions of computation;
+- :meth:`MemoryTracer.data` when a modeled memory address is touched.
+
+A :class:`NullTracer` with the same interface lets the engine run untraced
+(result-correctness tests, staged-executor comparisons) at full speed.
+"""
+
+from __future__ import annotations
+
+from ..simulator.addresses import AddressSpace, Region
+from ..simulator.trace import (
+    FLAG_DEPENDENT,
+    FLAG_KERNEL,
+    FLAG_STREAM,
+    FLAG_WRITE,
+    Trace,
+    TraceBuilder,
+)
+from .costs import CODE_FOOTPRINTS
+
+
+class CodeRegistry:
+    """Allocates each code module's footprint once, in the address space."""
+
+    def __init__(self, space: AddressSpace):
+        self._space = space
+        self._regions: dict[str, Region] = {}
+
+    def region(self, name: str) -> Region:
+        """The code region for module ``name`` (allocated on first use).
+
+        Unknown modules get a default 4 KB footprint.
+        """
+        region = self._regions.get(name)
+        if region is None:
+            size = CODE_FOOTPRINTS.get(name, 4 * 1024)
+            region = self._space.alloc(f"code:{name}", size)
+            self._regions[name] = region
+        return region
+
+    @property
+    def total_bytes(self) -> int:
+        """Total instruction-text bytes allocated so far."""
+        return sum(r.size for r in self._regions.values())
+
+
+class NullTracer:
+    """A do-nothing tracer: the engine runs, nothing is recorded."""
+
+    enabled = False
+
+    def enter(self, code_name: str) -> None:
+        """Ignore a code-module switch."""
+
+    def compute(self, n_instr: int) -> None:
+        """Ignore charged computation."""
+
+    def data(self, addr: int, write: bool = False, dependent: bool = False,
+             kernel: bool = False, stream: bool = False) -> None:
+        """Ignore a data reference."""
+
+
+class MemoryTracer(NullTracer):
+    """Records one client's execution as a simulator trace.
+
+    Usage::
+
+        tracer = MemoryTracer(registry, "tpcc-client-0", ilp=1.4,
+                              branch_mpki=7.0)
+        ... run the client's queries/transactions with this tracer ...
+        trace = tracer.finish()
+
+    Instructions charged via :meth:`compute` accumulate until the next
+    :meth:`data` call flushes them as one trace event.  Trailing computation
+    with no following reference is attached to a final dummy reference to
+    the client's scratch area.
+    """
+
+    enabled = True
+
+    def __init__(self, registry: CodeRegistry, name: str,
+                 ilp: float = 1.5, branch_mpki: float = 5.0,
+                 ilp_inorder: float | None = None):
+        self._registry = registry
+        self._builder = TraceBuilder(name, ilp=ilp, branch_mpki=branch_mpki,
+                                     ilp_inorder=ilp_inorder)
+        self._pending = 0
+        self._region_ids: dict[str, int] = {}
+        self._current_region = self._region_id("rt.kernel")
+        self._finished = False
+
+    def _region_id(self, code_name: str) -> int:
+        rid = self._region_ids.get(code_name)
+        if rid is None:
+            region = self._registry.region(code_name)
+            rid = self._builder.register_code(code_name, region.base,
+                                              region.lines)
+            self._region_ids[code_name] = rid
+        return rid
+
+    # ------------------------------------------------------------------ #
+    # Recording interface                                                 #
+    # ------------------------------------------------------------------ #
+
+    def enter(self, code_name: str) -> None:
+        """Move control into code module ``code_name``."""
+        self._current_region = self._region_id(code_name)
+
+    def compute(self, n_instr: int) -> None:
+        """Charge ``n_instr`` instructions before the next data reference."""
+        if n_instr < 0:
+            raise ValueError(f"negative instruction count {n_instr}")
+        self._pending += n_instr
+
+    def data(self, addr: int, write: bool = False, dependent: bool = False,
+             kernel: bool = False, stream: bool = False) -> None:
+        """Record a data reference at ``addr``, flushing pending compute."""
+        flags = 0
+        if write:
+            flags |= FLAG_WRITE
+        if dependent:
+            flags |= FLAG_DEPENDENT
+        if kernel:
+            flags |= FLAG_KERNEL
+        if stream:
+            flags |= FLAG_STREAM
+        # Charge a minimal instruction for the access itself so no event
+        # carries zero work.
+        icount = self._pending + 1
+        self._pending = 0
+        self._builder.event(icount, addr, flags, self._current_region)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_events(self) -> int:
+        """Events recorded so far."""
+        return len(self._builder)
+
+    def finish(self) -> Trace:
+        """Freeze and return the trace.  May be called once."""
+        if self._finished:
+            raise RuntimeError("tracer already finished")
+        self._finished = True
+        if self._pending:
+            # Attach trailing computation to a final reference into the
+            # kernel's run queue (an address every client touches).
+            region = self._registry.region("rt.kernel")
+            self.data(region.base, kernel=True)
+        return self._builder.build()

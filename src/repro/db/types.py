@@ -1,0 +1,85 @@
+"""Column types and fixed-width storage sizes for the relational engine.
+
+The engine stores rows as Python tuples but computes *storage layout*
+(field offsets, row widths, page capacities) from these types, because the
+layout determines the memory addresses the workload references — which is
+what the characterization measures.  All types are fixed-width; variable
+strings are stored padded to their declared width, as many commercial
+engines of the era did for CHAR columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ColumnType(enum.Enum):
+    """Supported column types with their on-page widths."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    DATE = "date"
+    CHAR = "char"
+
+    def width(self, length: int = 0) -> int:
+        """Storage width in bytes (CHAR requires an explicit length)."""
+        if self is ColumnType.INT32:
+            return 4
+        if self is ColumnType.INT64:
+            return 8
+        if self is ColumnType.FLOAT64:
+            return 8
+        if self is ColumnType.DATE:
+            return 4
+        if self is ColumnType.CHAR:
+            if length <= 0:
+                raise ValueError("CHAR columns need a positive length")
+            return length
+        raise AssertionError(f"unhandled type {self}")
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition.
+
+    Attributes:
+        name: Column name.
+        ctype: Storage type.
+        length: CHAR length (ignored for other types).
+    """
+
+    name: str
+    ctype: ColumnType
+    length: int = 0
+
+    @property
+    def width(self) -> int:
+        """Storage width in bytes."""
+        return self.ctype.width(self.length)
+
+
+def int32(name: str) -> Column:
+    """Shorthand for an INT32 column."""
+    return Column(name, ColumnType.INT32)
+
+
+def int64(name: str) -> Column:
+    """Shorthand for an INT64 column."""
+    return Column(name, ColumnType.INT64)
+
+
+def float64(name: str) -> Column:
+    """Shorthand for a FLOAT64 column."""
+    return Column(name, ColumnType.FLOAT64)
+
+
+def date(name: str) -> Column:
+    """Shorthand for a DATE column (days since epoch, stored as int)."""
+    return Column(name, ColumnType.DATE)
+
+
+def char(name: str, length: int) -> Column:
+    """Shorthand for a fixed-width CHAR column."""
+    return Column(name, ColumnType.CHAR, length)

@@ -1,0 +1,30 @@
+"""Small shared utilities for the engine."""
+
+from __future__ import annotations
+
+import zlib
+
+
+def stable_hash(key) -> int:
+    """A deterministic, process-independent hash for trace addressing.
+
+    Python salts ``hash()`` for str/bytes per process; traces must be
+    reproducible across runs, so string-ish keys go through crc32.  Ints
+    (the common case for join/index keys) hash to themselves, tuples
+    combine member hashes.
+    """
+    if isinstance(key, int):
+        return key & 0x7FFF_FFFF_FFFF_FFFF
+    if isinstance(key, str):
+        return zlib.crc32(key.encode())
+    if isinstance(key, bytes):
+        return zlib.crc32(key)
+    if isinstance(key, tuple):
+        h = 0x345678
+        for item in key:
+            h = (h * 1000003) ^ stable_hash(item)
+            h &= 0x7FFF_FFFF_FFFF_FFFF
+        return h
+    if isinstance(key, float):
+        return hash(key) & 0x7FFF_FFFF_FFFF_FFFF
+    raise TypeError(f"no stable hash for {type(key).__name__}")

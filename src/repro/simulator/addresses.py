@@ -1,0 +1,186 @@
+"""Synthetic 64-bit address space for the trace-driven simulator.
+
+The database engine does not manipulate real machine memory; it allocates
+*modeled* objects (pages, index nodes, code segments, thread-local scratch)
+inside a synthetic address space and emits references to those addresses.
+Only the addresses matter to the cache hierarchy, so the address space can be
+gigabytes wide while the Python process stays small.
+
+Layout conventions
+------------------
+The allocator hands out non-overlapping *regions*.  By convention the engine
+places code at low addresses, global/heap structures next, and per-client
+scratch (stack-like) regions at high addresses.  Nothing in the simulator
+depends on the convention; it only aids debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Cache line size in bytes.  All caches in the hierarchy share it, as in the
+#: machines the paper studies (64B lines were universal in the Power5 /
+#: UltraSPARC era for L1/L2).
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+#: Database page size in bytes (8 KB, the common commercial-DBMS default).
+PAGE_SIZE = 8192
+PAGE_SHIFT = 13
+
+#: Lines per database page.
+LINES_PER_PAGE = PAGE_SIZE // LINE_SIZE
+
+
+def line_of(addr: int) -> int:
+    """Return the cache-line index containing byte address ``addr``."""
+    return addr >> LINE_SHIFT
+
+
+def line_base(addr: int) -> int:
+    """Return the first byte address of the line containing ``addr``."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+def page_of(addr: int) -> int:
+    """Return the page index containing byte address ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous, exclusively-owned range of the synthetic address space.
+
+    Attributes:
+        name: Debugging label ("code:scan", "table:lineitem", ...).
+        base: First byte address of the region.
+        size: Region length in bytes.
+    """
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address of the region."""
+        return self.base + self.size
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines the region spans."""
+        return (self.size + LINE_SIZE - 1) // LINE_SIZE
+
+    def addr(self, offset: int) -> int:
+        """Return the absolute address of byte ``offset`` within the region.
+
+        Raises:
+            ValueError: if the offset falls outside the region.
+        """
+        if not 0 <= offset < self.size:
+            raise ValueError(
+                f"offset {offset} outside region {self.name!r} of size {self.size}"
+            )
+        return self.base + offset
+
+    def contains(self, addr: int) -> bool:
+        """Return True if ``addr`` lies inside this region."""
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """Bump allocator over the synthetic 64-bit address space.
+
+    Regions are aligned to page boundaries so that distinct database objects
+    never share a cache line (false sharing is modelled explicitly where the
+    engine wants it, by allocating objects into the same region).
+    """
+
+    def __init__(self, base: int = 0x1000_0000):
+        self._next = base
+        self._regions: list[Region] = []
+
+    def alloc(self, name: str, size: int, align: int = PAGE_SIZE) -> Region:
+        """Allocate ``size`` bytes aligned to ``align`` and return the Region.
+
+        Args:
+            name: Debugging label for the region.
+            size: Number of bytes; must be positive.
+            align: Power-of-two alignment (defaults to the page size).
+
+        Raises:
+            ValueError: on a non-positive size or non-power-of-two alignment.
+        """
+        if size <= 0:
+            raise ValueError(f"region size must be positive, got {size}")
+        if align & (align - 1):
+            raise ValueError(f"alignment must be a power of two, got {align}")
+        base = (self._next + align - 1) & ~(align - 1)
+        region = Region(name=name, base=base, size=size)
+        self._next = base + size
+        self._regions.append(region)
+        return region
+
+    def alloc_pages(self, name: str, npages: int) -> Region:
+        """Allocate ``npages`` database pages as one region."""
+        return self.alloc(name, npages * PAGE_SIZE)
+
+    @property
+    def regions(self) -> list[Region]:
+        """All regions allocated so far, in allocation order."""
+        return list(self._regions)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes handed out (excluding alignment gaps)."""
+        return sum(r.size for r in self._regions)
+
+    def find(self, addr: int) -> Region | None:
+        """Return the region containing ``addr``, or None.
+
+        Linear scan — intended for tests and debugging, not hot paths.
+        """
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+
+@dataclass
+class CodeRegion:
+    """An instruction footprint for one logical code module.
+
+    The engine assigns each operator/transaction routine a code region.  The
+    instruction-fetch model walks the region sequentially (loop-style) as
+    instructions retire, which lets instruction stream buffers do their job,
+    and jumps between regions when the executing module changes (the bursty
+    I-miss behaviour of large-instruction-footprint database code).
+
+    Attributes:
+        region: The address-space region backing the code.
+        instructions_per_line: How many retired instructions advance the
+            fetch pointer by one cache line (64B line / ~4B per instruction
+            = 16, the default).
+    """
+
+    region: Region
+    instructions_per_line: int = 16
+    _cursor: int = field(default=0, repr=False)
+
+    @property
+    def n_lines(self) -> int:
+        """Number of instruction cache lines in the footprint."""
+        return self.region.lines
+
+    def fetch_lines(self, icount: int) -> tuple[int, int, int]:
+        """Advance the fetch cursor by ``icount`` retired instructions.
+
+        Returns:
+            ``(first_line_addr, n_lines, region_lines)``: the byte address of
+            the first line fetched, the number of sequential lines fetched
+            (wrapping within the region), and the region's total line count.
+        """
+        n_lines = max(1, icount // self.instructions_per_line)
+        first = self.region.base + self._cursor * LINE_SIZE
+        self._cursor = (self._cursor + n_lines) % max(1, self.n_lines)
+        return first, n_lines, self.n_lines

@@ -1,0 +1,88 @@
+"""Chip-area model: the Table 1 core-size ratio, made quantitative.
+
+Section 2.1: a lean core is about a third of a fat core's area, so "an LC
+CMP can typically fit three times more cores in one chip", and "keeping a
+constant chip area would favor the LC camp".  This module assigns areas to
+cores (camp-dependent) and caches (via the CACTI-style model) so
+configurations can be compared at equal silicon, and provides the
+equal-area transform the Section 2.1 ablation uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import cacti
+from .configs import lc_cmp
+from .machine import MachineConfig
+
+#: Die area of one lean core at the reference node, mm^2 (Niagara-class).
+LEAN_CORE_MM2 = 12.0
+#: Table 1: a fat core occupies ~3x a lean core.
+FAT_TO_LEAN_AREA_RATIO = 3.0
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area accounting for one machine configuration.
+
+    Attributes:
+        config_name: The configuration label.
+        core_mm2: Total core area.
+        l2_mm2: On-chip L2 area (nominal capacity through the CACTI model).
+        total_mm2: Sum.
+        n_cores: Core count.
+    """
+
+    config_name: str
+    core_mm2: float
+    l2_mm2: float
+    n_cores: int
+
+    @property
+    def total_mm2(self) -> float:
+        return self.core_mm2 + self.l2_mm2
+
+
+def core_area_mm2(config: MachineConfig) -> float:
+    """Area of one core of this configuration's camp."""
+    if config.core.camp == "fc":
+        return LEAN_CORE_MM2 * FAT_TO_LEAN_AREA_RATIO
+    return LEAN_CORE_MM2
+
+
+def area_report(config: MachineConfig) -> AreaReport:
+    """Account the configuration's silicon: cores plus the (nominal) L2."""
+    n = config.hierarchy.n_cores
+    l2 = cacti.estimate(config.hierarchy.l2_nominal_mb).area_mm2
+    if config.smp:
+        l2 *= n  # one private L2 per node
+    return AreaReport(
+        config_name=config.name,
+        core_mm2=n * core_area_mm2(config),
+        l2_mm2=l2,
+        n_cores=n,
+    )
+
+
+def equal_area_lean(fc_config: MachineConfig, scale: float,
+                    **hier_overrides) -> MachineConfig:
+    """A lean-camp CMP filling the fat config's *core* area budget.
+
+    Same (nominal) L2 so the memory system stays the controlled variable,
+    three lean cores per fat core (Table 1's ratio).
+
+    Raises:
+        ValueError: if the input is not a fat-camp CMP.
+    """
+    if fc_config.core.camp != "fc" or fc_config.smp:
+        raise ValueError("equal_area_lean expects a fat-camp CMP config")
+    budget = fc_config.hierarchy.n_cores * core_area_mm2(fc_config)
+    n_lean = int(budget // LEAN_CORE_MM2)
+    return lc_cmp(
+        n_cores=n_lean,
+        l2_nominal_mb=fc_config.hierarchy.l2_nominal_mb,
+        scale=scale,
+        const_latency=fc_config.hierarchy.l2_latency,
+        **hier_overrides,
+    )

@@ -1,0 +1,144 @@
+"""Execution-time breakdowns (CPI stacks) — the paper's unit of evidence.
+
+Every figure in the paper is a view over one data structure: cycles
+attributed to computation, instruction stalls, data stalls (split by where
+the data came from), and other stalls.  :class:`Breakdown` is that
+structure; machines fill one in per core, experiments aggregate them, and
+the reporting layer renders the groupings each figure uses:
+
+- Fig. 3 / Fig. 5 grouping: Computation | I-stalls | D-stalls | Other.
+- Fig. 6 / Fig. 7 grouping: Comp | I-stalls | L2-hit (data) | Other-D | Other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Breakdown:
+    """Cycles attributed to each execution-time component.
+
+    Attributes:
+        computation: Cycles the core issued useful instructions.
+        i_l2: Instruction-stall cycles serviced by an on-chip L2.
+        i_mem: Instruction-stall cycles serviced off chip.
+        d_l1x: Exposed data-stall cycles serviced by a sibling L1 (CMP).
+        d_l2: Exposed data-stall cycles serviced by an on-chip L2
+            (the paper's "L2 hit stalls").
+        d_mem: Exposed data-stall cycles serviced off chip.
+        d_coh: Exposed data-stall cycles serviced by coherence transfers
+            or invalidation rounds (SMP).
+        other: Branch mispredictions and remaining pipeline stalls.
+        idle: Cycles with no software thread to run (unsaturated regimes;
+            excluded from busy-time percentages).
+    """
+
+    computation: float = 0.0
+    i_l2: float = 0.0
+    i_mem: float = 0.0
+    d_l1x: float = 0.0
+    d_l2: float = 0.0
+    d_mem: float = 0.0
+    d_coh: float = 0.0
+    other: float = 0.0
+    idle: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Derived components                                                  #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def i_stalls(self) -> float:
+        """Total instruction-stall cycles."""
+        return self.i_l2 + self.i_mem
+
+    @property
+    def d_stalls(self) -> float:
+        """Total data-stall cycles (all levels)."""
+        return self.d_l1x + self.d_l2 + self.d_mem + self.d_coh
+
+    @property
+    def d_offchip(self) -> float:
+        """Data stalls serviced off chip or by coherence (the component
+        prior work attributed most stalls to)."""
+        return self.d_mem + self.d_coh
+
+    @property
+    def d_onchip(self) -> float:
+        """Data stalls serviced on chip (L2 hits + L1-to-L1 transfers) —
+        the component this paper shows rising to dominance."""
+        return self.d_l2 + self.d_l1x
+
+    @property
+    def busy(self) -> float:
+        """Total accounted execution cycles, excluding idle."""
+        return (
+            self.computation + self.i_stalls + self.d_stalls + self.other
+        )
+
+    @property
+    def total(self) -> float:
+        """All cycles including idle."""
+        return self.busy + self.idle
+
+    # ------------------------------------------------------------------ #
+    # Views                                                               #
+    # ------------------------------------------------------------------ #
+
+    def fraction(self, component_cycles: float) -> float:
+        """``component_cycles`` as a fraction of busy time (0 if no time)."""
+        return component_cycles / self.busy if self.busy else 0.0
+
+    def coarse(self) -> dict[str, float]:
+        """Fig. 3 / Fig. 5 grouping, as fractions of busy time."""
+        return {
+            "computation": self.fraction(self.computation),
+            "i_stalls": self.fraction(self.i_stalls),
+            "d_stalls": self.fraction(self.d_stalls),
+            "other": self.fraction(self.other),
+        }
+
+    def l2_view(self) -> dict[str, float]:
+        """Fig. 6 / Fig. 7 grouping, as fractions of busy time."""
+        return {
+            "computation": self.fraction(self.computation),
+            "i_stalls": self.fraction(self.i_stalls),
+            "l2_hit": self.fraction(self.d_onchip),
+            "other_d": self.fraction(self.d_offchip),
+            "other": self.fraction(self.other),
+        }
+
+    def as_dict(self) -> dict[str, float]:
+        """Raw cycle counts for every field."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # ------------------------------------------------------------------ #
+    # Arithmetic                                                          #
+    # ------------------------------------------------------------------ #
+
+    def add(self, other: "Breakdown") -> None:
+        """Accumulate another breakdown into this one, in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def scaled(self, factor: float) -> "Breakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        out = Breakdown()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name) * factor)
+        return out
+
+    def per_instruction(self, instructions: float) -> "Breakdown":
+        """Return the CPI stack: cycles divided by retired instructions."""
+        if instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        return self.scaled(1.0 / instructions)
+
+    @classmethod
+    def total_of(cls, parts: list["Breakdown"]) -> "Breakdown":
+        """Sum a list of breakdowns into a new one."""
+        out = cls()
+        for p in parts:
+            out.add(p)
+        return out

@@ -1,0 +1,216 @@
+"""Set-associative cache with true LRU replacement.
+
+The cache operates on *line indexes* (byte address >> 6); callers convert
+once.  Each resident line carries a small integer state: for plain caches
+this is a dirty bit, for the coherence layer it is a MESI state.  The class
+exposes both a convenient ``access`` fast path (lookup + fill on miss) used
+by the hierarchy's hot loop, and fine-grained ``lookup`` / ``insert`` /
+``invalidate`` primitives used by the MESI directory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Line states for plain (non-coherent) caches.
+CLEAN = 0
+DIRTY = 1
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per access; 0.0 when the cache was never accessed."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per access; 0.0 when the cache was never accessed."""
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero every counter (used at the warm/measure boundary)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+
+class SetAssocCache:
+    """A set-associative cache over line indexes.
+
+    Sets are kept as two parallel structures per set: an LRU-ordered list of
+    tags (MRU at the end) and a dict mapping tag -> state.  Associativities
+    in this study are small (2-16 ways) so list operations are cheap.
+
+    Args:
+        name: Debug label ("L1D-0", "L2", ...).
+        size_bytes: Total capacity; must be divisible by assoc * line_size.
+        assoc: Number of ways per set.
+        line_size: Line size in bytes (64 throughout the study).
+    """
+
+    __slots__ = ("name", "size_bytes", "assoc", "line_size", "n_sets",
+                 "_order", "_state", "stats")
+
+    def __init__(self, name: str, size_bytes: int, assoc: int, line_size: int = 64):
+        if size_bytes <= 0 or assoc <= 0:
+            raise ValueError("cache size and associativity must be positive")
+        n_sets = size_bytes // (assoc * line_size)
+        if n_sets <= 0:
+            raise ValueError(
+                f"{name}: size {size_bytes} too small for {assoc}-way "
+                f"sets of {line_size}B lines"
+            )
+        # Set counts need not be powers of two (26 MB caches, scaled
+        # capacities); lines map to sets by modulo.  Effective capacity is
+        # n_sets * assoc * line_size (any remainder bytes are dropped).
+        self.name = name
+        self.size_bytes = n_sets * assoc * line_size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_sets
+        self._order: list[list[int]] = [[] for _ in range(n_sets)]
+        self._state: list[dict[int, int]] = [{} for _ in range(n_sets)]
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Fast path                                                           #
+    # ------------------------------------------------------------------ #
+
+    def access(self, line: int, write: bool) -> tuple[bool, tuple[int, int] | None]:
+        """Look up ``line``; fill it on a miss.
+
+        Args:
+            line: Line index (byte address >> log2(line_size)).
+            write: Whether the access dirties the line.
+
+        Returns:
+            ``(hit, victim)`` where ``victim`` is ``(line, state)`` for an
+            evicted line, or None.  A dirty victim also bumps the writeback
+            counter.
+        """
+        idx = line % self.n_sets
+        state = self._state[idx]
+        order = self._order[idx]
+        if line in state:
+            self.stats.hits += 1
+            if order[-1] != line:
+                order.remove(line)
+                order.append(line)
+            if write:
+                state[line] = DIRTY
+            return True, None
+        self.stats.misses += 1
+        victim = None
+        if len(order) >= self.assoc:
+            vline = order.pop(0)
+            vstate = state.pop(vline)
+            self.stats.evictions += 1
+            if vstate == DIRTY:
+                self.stats.writebacks += 1
+            victim = (vline, vstate)
+        order.append(line)
+        state[line] = DIRTY if write else CLEAN
+        return False, victim
+
+    # ------------------------------------------------------------------ #
+    # Fine-grained primitives (coherence layer)                           #
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, line: int) -> int | None:
+        """Return the line's state without updating LRU, or None if absent."""
+        return self._state[line % self.n_sets].get(line)
+
+    def touch(self, line: int) -> None:
+        """Move a resident line to MRU position.  No-op if absent."""
+        idx = line % self.n_sets
+        order = self._order[idx]
+        if line in self._state[idx] and order[-1] != line:
+            order.remove(line)
+            order.append(line)
+
+    def set_state(self, line: int, new_state: int) -> None:
+        """Overwrite a resident line's state.
+
+        Raises:
+            KeyError: if the line is not resident.
+        """
+        idx = line % self.n_sets
+        if line not in self._state[idx]:
+            raise KeyError(f"{self.name}: line {line:#x} not resident")
+        self._state[idx][line] = new_state
+
+    def insert(self, line: int, state: int) -> tuple[int, int] | None:
+        """Insert a line (assumed absent) with ``state``; return any victim.
+
+        Unlike :meth:`access` this does not count a hit or miss — the caller
+        (the coherence protocol) does its own accounting.
+        """
+        idx = line % self.n_sets
+        sdict = self._state[idx]
+        order = self._order[idx]
+        if line in sdict:
+            sdict[line] = state
+            self.touch(line)
+            return None
+        victim = None
+        if len(order) >= self.assoc:
+            vline = order.pop(0)
+            vstate = sdict.pop(vline)
+            self.stats.evictions += 1
+            victim = (vline, vstate)
+        order.append(line)
+        sdict[line] = state
+        return victim
+
+    def invalidate(self, line: int) -> int | None:
+        """Remove a line; return its state, or None if it was absent."""
+        idx = line % self.n_sets
+        sdict = self._state[idx]
+        if line not in sdict:
+            return None
+        self._order[idx].remove(line)
+        return sdict.pop(line)
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                       #
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, line: int) -> bool:
+        return line in self._state[line % self.n_sets]
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(s) for s in self._state)
+
+    def set_occupancy(self, line: int) -> int:
+        """Number of resident lines in the set that ``line`` maps to."""
+        return len(self._state[line % self.n_sets])
+
+    def flush_stats(self) -> CacheStats:
+        """Return a copy of current stats and reset the live counters."""
+        snapshot = CacheStats(
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+            evictions=self.stats.evictions,
+            writebacks=self.stats.writebacks,
+        )
+        self.stats.reset()
+        return snapshot

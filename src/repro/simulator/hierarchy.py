@@ -1,0 +1,395 @@
+"""Memory hierarchies: per-core L1s over a shared, banked on-chip L2 (CMP).
+
+This module implements the chip-multiprocessor hierarchy the paper's CMP
+experiments use: private L1I/L1D per core, one shared L2 with a configurable
+size/latency, banked ports with FIFO queueing (the Fig. 8 contention
+mechanism), instruction stream buffers (the paper's I-stall mitigation,
+Section 4), and an optional stride prefetcher (Section 3 discussion).
+
+The SMP variant with private L2s and MESI coherence lives in
+:mod:`repro.simulator.coherence`; both expose the same access interface so
+cores and machines are hierarchy-agnostic:
+
+- ``data_access(core, addr, write, now)    -> (latency, level)``
+- ``instr_block(core, footprint, n_lines, jumped, now) -> (latency, level)``
+
+Levels are small ints (:data:`L1` ... :data:`COH`) that the breakdown
+accounting maps to stall categories.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cache import SetAssocCache
+from . import cacti
+
+#: Access satisfied by the local L1 (no exposed stall; latency folded).
+L1 = 0
+#: Access satisfied by a sibling core's L1 (fast on-chip transfer, CMP only).
+L1X = 1
+#: Access satisfied by an on-chip L2 (the paper's "L2 hit").
+L2 = 2
+#: Access satisfied by off-chip memory.
+MEM = 3
+#: Access satisfied by a coherence transfer from a remote node (SMP only).
+COH = 4
+
+#: Human-readable names indexed by level constant.
+LEVEL_NAMES = ("L1", "L1X", "L2", "MEM", "COH")
+
+
+@dataclass
+class HierarchyParams:
+    """Knobs shared by the CMP and SMP hierarchies.
+
+    Latency fields are in core cycles.  ``l2_latency`` of None means "derive
+    from :func:`repro.simulator.cacti.l2_hit_latency` using
+    ``l2_nominal_mb``"; experiments that fix the latency (the paper's
+    "const" runs) set it explicitly.
+
+    ``l2_nominal_mb`` is the paper-labelled size used for latency lookup and
+    reporting; ``l2_mb`` is the actual simulated capacity
+    (= nominal * scale, see DESIGN.md section 1 on scaling).
+    """
+
+    n_cores: int = 4
+    l1i_kb: int = 32
+    l1d_kb: int = 32
+    l1_assoc: int = 2
+    l1_latency: int = 2
+    l2_mb: float = 16.0
+    l2_nominal_mb: float = 16.0
+    l2_assoc: int = 16
+    l2_latency: int | None = None
+    l2_banks: int = 4
+    l2_occupancy: int = 2
+    mem_latency: int = cacti.MEMORY_LATENCY
+    l1_transfer_latency: int = 16
+    coherence_latency: int = 260
+    upgrade_latency: int = 120
+    stream_buffers: bool = True
+    isb_hide_cycles: int = 10
+    isb_expose_frac: float = 0.25
+    jump_bubble_cycles: int = 3
+    stride_prefetch: bool = False
+
+    def resolved_l2_latency(self) -> int:
+        """L2 hit latency: explicit override or the Cacti model value."""
+        if self.l2_latency is not None:
+            return self.l2_latency
+        return cacti.l2_hit_latency(self.l2_nominal_mb)
+
+
+@dataclass
+class HierarchyStats:
+    """Aggregate counters a hierarchy exposes to the experiment layer."""
+
+    data_accesses: int = 0
+    data_level_counts: list[int] = field(default_factory=lambda: [0] * 5)
+    instr_blocks: int = 0
+    instr_level_counts: list[int] = field(default_factory=lambda: [0] * 5)
+    l2_queue_delay: int = 0
+    l2_queued_accesses: int = 0
+    coherence_misses: int = 0
+    prefetch_covered: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters (warm/measure boundary)."""
+        self.data_accesses = 0
+        self.data_level_counts = [0] * 5
+        self.instr_blocks = 0
+        self.instr_level_counts = [0] * 5
+        self.l2_queue_delay = 0
+        self.l2_queued_accesses = 0
+        self.coherence_misses = 0
+        self.prefetch_covered = 0
+
+    def data_fraction(self, level: int) -> float:
+        """Fraction of data accesses satisfied at ``level``."""
+        if not self.data_accesses:
+            return 0.0
+        return self.data_level_counts[level] / self.data_accesses
+
+
+class _CodePressure:
+    """Tracks the recently-active instruction footprint of one core.
+
+    The instruction-fetch model is analytic (DESIGN.md item on I-stalls):
+    when the code regions a core's contexts recently executed exceed the
+    L1I capacity, a fraction of control transfers land on evicted lines.
+    This tiny LRU of (region base -> line count) tracks "recently executed"
+    and yields that fraction.
+    """
+
+    __slots__ = ("_regions", "_capacity_lines", "_total", "miss_credit")
+
+    def __init__(self, capacity_lines: int):
+        self._regions: dict[int, int] = {}
+        self._capacity_lines = capacity_lines
+        self._total = 0
+        #: Fractional accumulator: each jump adds (1 - resident fraction);
+        #: a whole unit buys one real L2 fetch for the jump target.
+        self.miss_credit = 0.0
+
+    def touch(self, base: int, n_lines: int) -> float:
+        """Record that the region at ``base`` ran.
+
+        Returns:
+            The *evicted fraction* of the active footprint: 0.0 while
+            everything fits in the L1I, approaching 1.0 as the footprint
+            grows far past it.
+        """
+        if base in self._regions:
+            # Refresh recency (move to end of insertion order).
+            self._total -= self._regions.pop(base)
+        self._regions[base] = n_lines
+        self._total += n_lines
+        # Forget oldest regions beyond a generous window (4x L1I) so one-shot
+        # code does not permanently inflate the footprint.
+        while self._total > 4 * self._capacity_lines and len(self._regions) > 1:
+            old_base = next(iter(self._regions))
+            self._total -= self._regions.pop(old_base)
+        if self._total <= self._capacity_lines:
+            return 0.0
+        return 1.0 - self._capacity_lines / self._total
+
+
+class SharedL2Hierarchy:
+    """The CMP hierarchy: private L1s, one shared banked L2, memory.
+
+    Cross-L1 sharing is detected with an owner map maintained at L1 fill and
+    eviction time; L1 copies are not kept precisely coherent (the timing
+    effect of the omitted invalidations is negligible at 64 KB L1s — see
+    DESIGN.md, "Key modelling decisions").
+    """
+
+    def __init__(self, params: HierarchyParams):
+        self.params = params
+        self.l2_latency = params.resolved_l2_latency()
+        n = params.n_cores
+        self._l1d = [
+            SetAssocCache(f"L1D-{i}", params.l1d_kb * 1024, params.l1_assoc)
+            for i in range(n)
+        ]
+        l2_bytes = int(params.l2_mb * 1024 * 1024)
+        self.l2 = SetAssocCache("L2", l2_bytes, params.l2_assoc)
+        self._l1_owners: dict[int, int] = {}
+        self._bank_free = [0.0] * params.l2_banks
+        self._bank_mask = params.l2_banks - 1
+        if params.l2_banks & self._bank_mask:
+            raise ValueError("l2_banks must be a power of two")
+        l1i_lines = params.l1i_kb * 1024 // 64
+        self._code_pressure = [_CodePressure(l1i_lines) for i in range(n)]
+        self._pf_last = [0] * n
+        self._pf_stride = [0] * n
+        self._pf_conf = [0] * n
+        self.stats = HierarchyStats()
+
+    # ------------------------------------------------------------------ #
+    # L2 bank port model                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _l2_port(self, line: int, now: float) -> float:
+        """Occupy the bank serving ``line`` at time ``now``.
+
+        Returns the queueing delay (cycles spent waiting for the bank).
+        Correlated miss bursts from many cores produce the growing queueing
+        delays behind Fig. 8's sublinear speedup.
+        """
+        bank = line & self._bank_mask
+        free = self._bank_free[bank]
+        delay = free - now if free > now else 0.0
+        self._bank_free[bank] = now + delay + self.params.l2_occupancy
+        if delay:
+            self.stats.l2_queue_delay += int(delay)
+            self.stats.l2_queued_accesses += 1
+        return delay
+
+    # ------------------------------------------------------------------ #
+    # Data path                                                           #
+    # ------------------------------------------------------------------ #
+
+    def data_access(
+        self, core: int, addr: int, write: bool, now: float
+    ) -> tuple[int, int]:
+        """Perform one data reference for ``core`` at time ``now``.
+
+        Returns:
+            ``(latency_cycles, level)`` where latency includes any L2 bank
+            queueing delay.  L1 hits return the (pipelined) L1 latency.
+        """
+        p = self.params
+        line = addr >> 6
+        stats = self.stats
+        stats.data_accesses += 1
+        hit, victim = self._l1d[core].access(line, write)
+        if hit:
+            stats.data_level_counts[L1] += 1
+            return p.l1_latency, L1
+        owners = self._l1_owners
+        bit = 1 << core
+        if victim is not None:
+            vline = victim[0]
+            vmask = owners.get(vline)
+            if vmask is not None:
+                vmask &= ~bit
+                if vmask:
+                    owners[vline] = vmask
+                else:
+                    del owners[vline]
+        sibling_mask = owners.get(line, 0) & ~bit
+        if sibling_mask:
+            # A sibling L1 holds the line.  Dirty copies require a fast
+            # on-chip L1-to-L1 intervention (the CMP benefit of Sec 5.2);
+            # clean copies are simply served by the shared L2 below.
+            dirty_sibling = False
+            for other in range(p.n_cores):
+                if sibling_mask >> other & 1:
+                    if self._l1d[other].lookup(line) == 1:  # DIRTY
+                        dirty_sibling = True
+                    if write:
+                        self._l1d[other].invalidate(line)
+            if write:
+                owners[line] = bit
+            else:
+                owners[line] = sibling_mask | bit
+            if dirty_sibling:
+                self.l2.touch(line)
+                stats.data_level_counts[L1X] += 1
+                return p.l1_transfer_latency, L1X
+        owners[line] = owners.get(line, 0) | bit
+        # Stride prefetch check (ablation feature, off by default).
+        predicted = False
+        if p.stride_prefetch:
+            stride = line - self._pf_last[core]
+            if stride == self._pf_stride[core] and stride != 0:
+                if self._pf_conf[core] >= 2:
+                    predicted = True
+                else:
+                    self._pf_conf[core] += 1
+            else:
+                self._pf_stride[core] = stride
+                self._pf_conf[core] = 0
+            self._pf_last[core] = line
+        qdelay = self._l2_port(line, now)
+        l2_hit, _ = self.l2.access(line, write)
+        if l2_hit:
+            stats.data_level_counts[L2] += 1
+            return int(self.l2_latency + qdelay), L2
+        if predicted:
+            # The prefetcher fetched the line ahead of use: the demand access
+            # finds it arriving on chip and pays only the L2 round trip.
+            stats.prefetch_covered += 1
+            stats.data_level_counts[L2] += 1
+            return int(self.l2_latency + qdelay), L2
+        stats.data_level_counts[MEM] += 1
+        return int(self.l2_latency + qdelay + p.mem_latency), MEM
+
+    def warm_data(self, core: int, addr: int, write: bool) -> None:
+        """Functional warm-up: identical state transitions, no timing."""
+        line = addr >> 6
+        hit, victim = self._l1d[core].access(line, write)
+        if hit:
+            return
+        owners = self._l1_owners
+        bit = 1 << core
+        if victim is not None:
+            vline = victim[0]
+            vmask = owners.get(vline)
+            if vmask is not None:
+                vmask &= ~bit
+                if vmask:
+                    owners[vline] = vmask
+                else:
+                    del owners[vline]
+        sibling_mask = owners.get(line, 0) & ~bit
+        if write and sibling_mask:
+            for other in range(self.params.n_cores):
+                if sibling_mask >> other & 1:
+                    self._l1d[other].invalidate(line)
+            owners[line] = bit
+        else:
+            owners[line] = owners.get(line, 0) | bit
+        self.l2.access(line, write)
+
+    # ------------------------------------------------------------------ #
+    # Instruction path                                                    #
+    # ------------------------------------------------------------------ #
+
+    def instr_block(
+        self, core: int, base: int, region_lines: int, n_lines: int,
+        jumped: bool, now: float,
+    ) -> tuple[int, int]:
+        """Model the instruction fetches of one compute block.
+
+        Args:
+            core: Fetching core.
+            base: Code region base address.
+            region_lines: Region footprint in lines.
+            n_lines: Lines fetched by this block.
+            jumped: Whether the block starts in a new code region.
+            now: Current time (for the L2 port of the jump-target fetch).
+
+        Returns:
+            ``(exposed_cycles, level)``: frontend stall cycles the core must
+            absorb, and the deepest level touched.
+        """
+        p = self.params
+        stats = self.stats
+        stats.instr_blocks += 1
+        pressure = self._code_pressure[core]
+        evicted_frac = pressure.touch(base, region_lines)
+        exposed = 0.0
+        level = L1
+        if jumped:
+            # A control transfer into another module: the hot paths of
+            # recently-run modules stay L1I-resident, so only the evicted
+            # fraction of jumps fetch from the L2.  The fractional credit
+            # makes that deterministic without per-line I-cache state.
+            pressure.miss_credit += evicted_frac
+            if pressure.miss_credit >= 1.0:
+                pressure.miss_credit -= 1.0
+                line = base >> 6
+                qdelay = self._l2_port(line, now)
+                l2_hit, _ = self.l2.access(line, False)
+                if l2_hit:
+                    exposed += self.l2_latency + qdelay
+                    level = L2
+                else:
+                    exposed += self.l2_latency + qdelay + p.mem_latency
+                    level = MEM
+            else:
+                exposed += p.jump_bubble_cycles
+            n_lines -= 1
+        if n_lines > 0 and evicted_frac > 0.0:
+            # Sequential fetch through a thrashing footprint: the stream
+            # buffer prefetches ahead and hides most of the L2 latency.
+            if p.stream_buffers:
+                per_line = max(
+                    0.0, (self.l2_latency - p.isb_hide_cycles) * p.isb_expose_frac
+                )
+            else:
+                per_line = float(self.l2_latency)
+            if per_line:
+                exposed += n_lines * per_line * evicted_frac
+                if level == L1:
+                    level = L2
+        stats.instr_level_counts[level] += 1
+        return int(exposed), level
+
+    # ------------------------------------------------------------------ #
+    # Maintenance                                                         #
+    # ------------------------------------------------------------------ #
+
+    def reset_stats(self) -> None:
+        """Reset all hierarchy and per-cache counters (keep cache state)."""
+        self.stats.reset()
+        self.l2.stats.reset()
+        for c in self._l1d:
+            c.stats.reset()
+
+    @property
+    def l1d_caches(self) -> list[SetAssocCache]:
+        """The per-core L1D instances (for tests and counters)."""
+        return list(self._l1d)

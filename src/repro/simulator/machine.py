@@ -1,0 +1,360 @@
+"""Machines: cores + hierarchy + the warm/measure execution loop.
+
+A :class:`Machine` binds a camp's cores to a hierarchy, maps a workload's
+per-client traces onto hardware contexts, functionally warms the caches
+(the SimFlex-style warm-then-measure discipline, Section 3 of the paper),
+and then runs the event-driven timing simulation, producing a
+:class:`MachineResult` with the execution-time breakdown and the paper's
+performance metrics:
+
+- *throughput mode*: aggregate committed user instructions per cycle over a
+  fixed measurement window (the paper's saturated-workload metric);
+- *response mode*: cycles to complete one full pass of a single client's
+  trace (the paper's unsaturated-workload metric).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+from .breakdown import Breakdown
+from .coherence import PrivateL2Hierarchy
+from .cores import CoreParams, FatCore, LeanCore
+from .hierarchy import HierarchyParams, HierarchyStats, SharedL2Hierarchy
+from .trace import Trace, Workload
+
+#: Default measurement window in cycles (the paper measures 50k-cycle
+#: samples; our coarser-grain traces need a longer window for the same
+#: number of references).
+DEFAULT_MEASURE_CYCLES = 400_000
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete machine description: camp cores over a hierarchy.
+
+    Attributes:
+        name: Label used in reports ("FC CMP 4x26MB", ...).
+        core: Core microarchitecture (camp) parameters.
+        hierarchy: Cache hierarchy parameters.
+        smp: If True, build private per-node L2s with MESI coherence
+            instead of the shared CMP L2.
+    """
+
+    name: str
+    core: CoreParams
+    hierarchy: HierarchyParams
+    smp: bool = False
+
+    @property
+    def n_hardware_contexts(self) -> int:
+        """Total hardware contexts = cores x contexts per core."""
+        return self.hierarchy.n_cores * self.core.n_contexts
+
+
+@dataclass
+class MachineResult:
+    """Everything an experiment extracts from one simulation run.
+
+    Attributes:
+        config_name: The machine configuration label.
+        workload_name: The workload label.
+        breakdown: Aggregate breakdown over all active cores.
+        per_core: Per-core breakdowns (inactive cores excluded).
+        retired: User instructions committed in the window.
+        elapsed: Measurement window length in cycles.
+        ipc: Aggregate committed instructions per cycle — the paper's
+            throughput metric.
+        response_cycles: Single-pass completion time (response mode only).
+        hier_stats: Hierarchy counters captured over the window.
+        l2_miss_rate: Shared-L2 miss rate over the window (CMP); mean of
+            private L2 miss rates (SMP).
+    """
+
+    config_name: str
+    workload_name: str
+    breakdown: Breakdown
+    per_core: list[Breakdown]
+    retired: int
+    elapsed: float
+    ipc: float
+    response_cycles: float | None
+    hier_stats: HierarchyStats
+    l2_miss_rate: float
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        """Aggregate cycles per instruction (per-core view: busy/retired)."""
+        if not self.retired:
+            return math.inf
+        return sum(b.busy for b in self.per_core) / self.retired
+
+
+class Machine:
+    """An instantiated machine ready to run workloads.
+
+    A fresh Machine has cold caches; :meth:`run` warms them functionally
+    before measuring.  Machines are single-use per run (state carries over
+    if reused, which experiments exploit for paired measurements).
+    """
+
+    def __init__(self, config: MachineConfig):
+        self.config = config
+        if config.smp:
+            self.hierarchy = PrivateL2Hierarchy(config.hierarchy)
+        else:
+            self.hierarchy = SharedL2Hierarchy(config.hierarchy)
+        self._cores: list = []
+
+    # ------------------------------------------------------------------ #
+    # Context mapping                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _assign(self, traces: list[Trace]) -> list[list[list[Trace]]]:
+        """Round-robin client traces onto [core][context] slots.
+
+        More clients than contexts -> contexts cycle through several client
+        traces (queued clients); fewer -> surplus contexts idle.
+        """
+        cfg = self.config
+        n_cores = cfg.hierarchy.n_cores
+        per_core = cfg.core.n_contexts
+        slots: list[list[list[Trace]]] = [
+            [[] for _ in range(per_core)] for _ in range(n_cores)
+        ]
+        total = n_cores * per_core
+        for i, tr in enumerate(traces):
+            slot = i % total
+            # Fill across cores first so small client counts spread out,
+            # matching how an OS scheduler places runnable threads.
+            core, ctx = slot % n_cores, slot // n_cores
+            slots[core][ctx].append(tr)
+        return slots
+
+    def _build_cores(self, slots: list[list[list[Trace]]],
+                     offset_of) -> None:
+        cfg = self.config
+        self._cores = []
+        for core_id, core_slots in enumerate(slots):
+            if cfg.core.n_contexts == 1:
+                traces = core_slots[0]
+                self._cores.append(
+                    FatCore(core_id, cfg.core, self.hierarchy, traces,
+                            [offset_of(t) for t in traces])
+                )
+            else:
+                self._cores.append(
+                    LeanCore(
+                        core_id, cfg.core, self.hierarchy, core_slots,
+                        [[offset_of(t) for t in traces]
+                         for traces in core_slots],
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+    # Warm phase                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _warm(self, slots: list[list[list[Trace]]], passes: int,
+              warm_len_of) -> None:
+        """Functionally warm caches over each trace's warm prefix.
+
+        Contexts advance in round-robin chunks so the shared L2 sees a
+        realistic mix of all clients rather than one client at a time.
+        Measurement then starts where warming stopped, so references to
+        the cold secondary working set are genuinely unseen.
+        """
+        chunk = 64
+        walkers: list[tuple[int, Trace, int]] = []
+        for core_id, core_slots in enumerate(slots):
+            for ctx_traces in core_slots:
+                for tr in ctx_traces:
+                    walkers.append((core_id, tr, warm_len_of(tr)))
+        hier = self.hierarchy
+        for _ in range(passes):
+            cursors = [0] * len(walkers)
+            pending = {w for w in range(len(walkers)) if walkers[w][2] > 0}
+            while pending:
+                done = []
+                for w in pending:
+                    core_id, tr, warm_len = walkers[w]
+                    pos = cursors[w]
+                    end = min(pos + chunk, warm_len)
+                    addrs = tr.addrs
+                    flags = tr.flags
+                    warm = hier.warm_data
+                    for i in range(pos, end):
+                        warm(core_id, addrs[i], bool(flags[i] & 0x1))
+                    cursors[w] = end
+                    if end >= warm_len:
+                        done.append(w)
+                pending.difference_update(done)
+        hier.reset_stats()
+
+    # ------------------------------------------------------------------ #
+    # Measurement                                                         #
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        workload: Workload,
+        mode: str = "throughput",
+        measure_cycles: float = DEFAULT_MEASURE_CYCLES,
+        warm_passes: int = 1,
+        warm_fraction: float = 0.5,
+    ) -> MachineResult:
+        """Warm, then measure the workload on this machine.
+
+        Args:
+            workload: Per-client traces to execute.
+            mode: ``"throughput"`` (fixed window, aggregate IPC) or
+                ``"response"`` (single pass of client 0, completion time).
+            measure_cycles: Window length for throughput mode.
+            warm_passes: Functional warm passes (0 = cold caches).
+            warm_fraction: Fraction of each trace warmed functionally in
+                throughput mode; measurement starts at that offset so the
+                cold secondary working set stays cold.  Response mode
+                warms the whole trace and measures one full pass.
+
+        Returns:
+            A :class:`MachineResult`.
+
+        Raises:
+            ValueError: for an unknown mode or a response-mode workload
+                with more than one client.
+        """
+        if mode not in ("throughput", "response"):
+            raise ValueError(f"unknown mode {mode!r}")
+        total_contexts = self.config.n_hardware_contexts
+        if mode == "response" and workload.n_clients > total_contexts:
+            raise ValueError(
+                "response mode requires every client to have its own "
+                f"hardware context ({workload.n_clients} clients > "
+                f"{total_contexts} contexts)"
+            )
+        if not 0.0 <= warm_fraction <= 1.0:
+            raise ValueError("warm_fraction must be within [0, 1]")
+        slots = self._assign(workload.traces)
+        if not warm_passes:
+            def offset_of(tr: Trace) -> int:
+                return 0
+
+            warm_len_of = offset_of
+        else:
+            # Warm the prefix; measure from there.  In response mode the
+            # measured "request batch" is the unwarmed tail of the trace —
+            # hot structures are warm, the cold secondary set is not.
+            def offset_of(tr: Trace) -> int:
+                return int(len(tr) * warm_fraction) % len(tr)
+
+            warm_len_of = offset_of
+        self._build_cores(slots, offset_of)
+        if warm_passes:
+            self._warm(slots, warm_passes, warm_len_of)
+        if mode == "response":
+            response = self._run_response()
+            elapsed = response
+        else:
+            response = None
+            elapsed = float(measure_cycles)
+            self._run_throughput(elapsed)
+        active = [c for c in self._cores if c.retired > 0 or
+                  any(ctx.trace is not None for ctx in c.contexts)]
+        per_core = [c.breakdown for c in active]
+        breakdown = Breakdown.total_of(per_core)
+        retired = sum(c.retired for c in self._cores)
+        ipc = retired / elapsed if elapsed else 0.0
+        # Fractional trace passes per context (work-completion accounting
+        # for workloads whose contexts progress at different rates).
+        progress = [
+            ctx.passes + (ctx.pos / ctx.n if ctx.n else 0.0)
+            for core in active for ctx in core.contexts
+            if ctx.trace is not None
+        ]
+        return MachineResult(
+            config_name=self.config.name,
+            workload_name=workload.name,
+            breakdown=breakdown,
+            per_core=per_core,
+            retired=retired,
+            elapsed=elapsed,
+            ipc=ipc,
+            response_cycles=response,
+            hier_stats=self.hierarchy.stats,
+            l2_miss_rate=self._l2_miss_rate(),
+            extras={"context_progress": progress},
+        )
+
+    def _l2_miss_rate(self) -> float:
+        hier = self.hierarchy
+        if isinstance(hier, SharedL2Hierarchy):
+            return hier.l2.stats.miss_rate
+        rates = [c.stats.miss_rate for c in hier.l2_caches if c.stats.accesses]
+        return sum(rates) / len(rates) if rates else 0.0
+
+    def _run_throughput(self, horizon: float) -> None:
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        for idx, core in enumerate(self._cores):
+            t = core.next_time()
+            if t < math.inf:
+                heapq.heappush(heap, (t, seq, idx))
+                seq += 1
+        while heap:
+            t, _, idx = heapq.heappop(heap)
+            if t > horizon:
+                break
+            core = self._cores[idx]
+            core.step()
+            nt = core.next_time()
+            if nt < math.inf:
+                heapq.heappush(heap, (nt, seq, idx))
+                seq += 1
+        # Attribute any trailing interval up to the horizon (lean cores
+        # track interval accounting explicitly).
+        for core in self._cores:
+            if isinstance(core, LeanCore) and core.t < horizon:
+                if core.next_time() >= horizon:
+                    core._advance_to(horizon)
+
+    def _run_response(self) -> float:
+        """Run every assigned context through one trace pass; the response
+        time is the last completion (a single client for the paper's
+        unsaturated runs; several for intra-query parallel plans)."""
+        active = []
+        for core in self._cores:
+            contexts = [c for c in core.contexts if c.trace is not None]
+            if contexts:
+                core.pass_target = 1
+                active.append((core, contexts))
+        if not active:
+            raise ValueError("no context has a trace assigned")
+        heap: list[tuple[float, int, int]] = []
+        seq = 0
+        cores = [core for core, _ in active]
+        for idx, core in enumerate(cores):
+            heapq.heappush(heap, (core.next_time(), seq, idx))
+            seq += 1
+        pending = {id(ctx) for _, ctxs in active for ctx in ctxs}
+        guard = 0
+        while heap and pending:
+            _, _, idx = heapq.heappop(heap)
+            core = cores[idx]
+            core.step()
+            for _, ctxs in active:
+                for ctx in ctxs:
+                    if id(ctx) in pending and ctx.finished_at is not math.inf:
+                        pending.discard(id(ctx))
+            nt = core.next_time()
+            if nt is not math.inf:
+                heapq.heappush(heap, (nt, seq, idx))
+                seq += 1
+            guard += 1
+            if guard > 50_000_000:
+                raise RuntimeError("response-mode run did not terminate")
+        if pending:
+            raise RuntimeError("response-mode run stalled before completion")
+        return max(ctx.finished_at for _, ctxs in active for ctx in ctxs)

@@ -1,0 +1,230 @@
+"""Memory-reference traces: the interface between the DB engine and machines.
+
+The engine runs each workload once and records, per client (= per hardware
+context), a sequence of *events*.  Each event is "execute ``icount``
+instructions from code region ``region``, then perform one data reference to
+``addr`` with ``flags``".  Machines replay these traces under a timing model.
+
+Traces are stored as parallel compact arrays so that a 64-client saturated
+workload stays small, and are cyclic: steady-state workloads (a client
+submitting transactions forever) are represented by a finite trace replayed
+in a loop, mirroring the paper's SimFlex warm-then-measure sampling windows.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+
+#: The reference writes the line (dirty it; relevant to coherence/writeback).
+FLAG_WRITE = 0x1
+#: The reference is data-dependent on the previous one (pointer chasing):
+#: an out-of-order core cannot overlap its miss latency with other misses.
+FLAG_DEPENDENT = 0x2
+#: The reference executes in kernel/system context (scheduling, I/O stubs).
+FLAG_KERNEL = 0x4
+#: The compute block preceding this reference starts a new code module
+#: (operator switch): the instruction-fetch model jumps, defeating the
+#: stream buffer for the first lines.
+FLAG_CODE_JUMP = 0x8
+#: The reference belongs to a sequential scan stream: spatial locality
+#: lets an out-of-order core's memory system stream it from DRAM (the
+#: paper's [26] spatial-memory-streaming observation), even when the
+#: per-tuple decode is dependent.  Only long (off-chip) latencies benefit.
+FLAG_STREAM = 0x10
+
+
+@dataclass(frozen=True)
+class CodeFootprint:
+    """Static description of one code region referenced by a trace.
+
+    Attributes:
+        name: Debug label (operator or transaction routine name).
+        base: Byte address of the first instruction line.
+        n_lines: Instruction-cache lines spanned by the routine.
+    """
+
+    name: str
+    base: int
+    n_lines: int
+
+
+class Trace:
+    """An immutable per-context event sequence plus workload metadata.
+
+    Attributes:
+        name: Debug label, e.g. ``"tpcc-client-3"``.
+        ilp: Instruction-level parallelism an out-of-order core extracts
+            from the stream (limits a wide core's issue rate).
+        ilp_inorder: ILP an in-order core achieves on the same stream
+            (RAW hazards stall what OoO scheduling would reorder around).
+        branch_mpki: Branch mispredictions per kilo-instruction (drives the
+            "other stalls" component).
+        footprints: Code regions indexed by the ``regions`` array.
+    """
+
+    __slots__ = (
+        "name",
+        "ilp",
+        "ilp_inorder",
+        "branch_mpki",
+        "footprints",
+        "icounts",
+        "addrs",
+        "flags",
+        "regions",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        icounts: array,
+        addrs: array,
+        flags: array,
+        regions: array,
+        footprints: list[CodeFootprint],
+        ilp: float = 1.5,
+        branch_mpki: float = 5.0,
+        ilp_inorder: float | None = None,
+    ):
+        if not len(icounts) == len(addrs) == len(flags) == len(regions):
+            raise ValueError("trace arrays must have equal lengths")
+        if len(icounts) == 0:
+            raise ValueError(f"trace {name!r} is empty")
+        self.name = name
+        self.icounts = icounts
+        self.addrs = addrs
+        self.flags = flags
+        self.regions = regions
+        self.footprints = footprints
+        self.ilp = ilp
+        self.ilp_inorder = ilp * 0.75 if ilp_inorder is None else ilp_inorder
+        self.branch_mpki = branch_mpki
+
+    def __len__(self) -> int:
+        return len(self.icounts)
+
+    @property
+    def total_instructions(self) -> int:
+        """Instructions retired in one full pass over the trace."""
+        return sum(self.icounts)
+
+    @property
+    def total_references(self) -> int:
+        """Data references in one full pass over the trace."""
+        return len(self.icounts)
+
+    def dependent_fraction(self) -> float:
+        """Fraction of references flagged DEPENDENT (pointer chasing)."""
+        dep = sum(1 for f in self.flags if f & FLAG_DEPENDENT)
+        return dep / len(self.flags)
+
+    def write_fraction(self) -> float:
+        """Fraction of references that are writes."""
+        wr = sum(1 for f in self.flags if f & FLAG_WRITE)
+        return wr / len(self.flags)
+
+    def distinct_lines(self) -> int:
+        """Number of distinct cache lines referenced (data only)."""
+        return len({a >> 6 for a in self.addrs})
+
+
+class TraceBuilder:
+    """Accumulates events for one hardware context.
+
+    The engine-side tracer calls :meth:`event` once per modeled data
+    reference; :meth:`build` freezes the result.
+    """
+
+    def __init__(self, name: str, ilp: float = 1.5, branch_mpki: float = 5.0,
+                 ilp_inorder: float | None = None):
+        self.name = name
+        self.ilp = ilp
+        self.ilp_inorder = ilp_inorder
+        self.branch_mpki = branch_mpki
+        self._icounts = array("I")
+        self._addrs = array("Q")
+        self._flags = array("B")
+        self._regions = array("H")
+        self._footprints: list[CodeFootprint] = []
+        self._footprint_ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._icounts)
+
+    def register_code(self, name: str, base: int, n_lines: int) -> int:
+        """Register (or look up) a code footprint; returns its region id."""
+        existing = self._footprint_ids.get(name)
+        if existing is not None:
+            return existing
+        region_id = len(self._footprints)
+        if region_id > 0xFFFF:
+            raise ValueError("too many code regions for a 16-bit region id")
+        self._footprints.append(CodeFootprint(name=name, base=base, n_lines=n_lines))
+        self._footprint_ids[name] = region_id
+        return region_id
+
+    def event(self, icount: int, addr: int, flags: int = 0, region: int = 0) -> None:
+        """Record one event: ``icount`` instructions, then a data reference.
+
+        Args:
+            icount: Instructions retired before the reference (>= 0; clamped
+                to the 32-bit storage range).
+            addr: Byte address of the data reference.
+            flags: OR of ``FLAG_*`` constants.
+            region: Code region id from :meth:`register_code`.
+        """
+        if icount < 0:
+            raise ValueError(f"negative icount {icount}")
+        self._icounts.append(min(icount, 0xFFFF_FFFF))
+        self._addrs.append(addr)
+        self._flags.append(flags & 0xFF)
+        self._regions.append(region)
+
+    def build(self) -> Trace:
+        """Freeze the builder into an immutable Trace."""
+        return Trace(
+            name=self.name,
+            icounts=self._icounts,
+            addrs=self._addrs,
+            flags=self._flags,
+            regions=self._regions,
+            footprints=list(self._footprints),
+            ilp=self.ilp,
+            ilp_inorder=self.ilp_inorder,
+            branch_mpki=self.branch_mpki,
+        )
+
+
+@dataclass
+class Workload:
+    """A bundle of per-context traces ready to run on a machine.
+
+    Attributes:
+        name: Workload label, e.g. ``"tpch-saturated"``.
+        traces: One trace per client / software thread.  A machine maps
+            these onto hardware contexts; if there are more contexts than
+            traces the extra contexts idle (unsaturated regime), if there
+            are more traces than contexts the surplus queue (saturated).
+        kind: ``"oltp"`` or ``"dss"`` (used only for reporting).
+        saturated: Whether this bundle represents a saturated configuration.
+    """
+
+    name: str
+    traces: list[Trace]
+    kind: str = "dss"
+    saturated: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.traces:
+            raise ValueError(f"workload {self.name!r} has no traces")
+
+    @property
+    def n_clients(self) -> int:
+        """Number of client traces in the bundle."""
+        return len(self.traces)
+
+    def total_instructions(self) -> int:
+        """Instructions in one pass over every trace."""
+        return sum(t.total_instructions for t in self.traces)

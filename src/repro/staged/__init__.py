@@ -1,0 +1,26 @@
+"""Staged database execution — the Section 6 "opportunities" extension.
+
+Queries decompose into packets routed through per-operator stages; a
+cohort scheduler binds producer/consumer pairs to one core and yields at
+L1D-sized batches (the STEPS-inspired data-locality policy the paper
+projects for future staged database systems).
+"""
+
+from .packet import BatchBuffer, BufferRing, Packet
+from .router import Router, StageStats
+from .scheduler import CohortScheduler, StagedResult
+from .stage import AggStage, FilterStage, ScanStage, Stage
+
+__all__ = [
+    "AggStage",
+    "BatchBuffer",
+    "BufferRing",
+    "CohortScheduler",
+    "FilterStage",
+    "Packet",
+    "Router",
+    "ScanStage",
+    "Stage",
+    "StagedResult",
+    "StageStats",
+]

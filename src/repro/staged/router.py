@@ -1,0 +1,68 @@
+"""Packet routing: build staged pipelines for the studied query shapes.
+
+The router is the small amount of glue a staged system needs between the
+query entry point and its stages: given a query description, instantiate
+the stages and hand the scheduler a pipeline.  It also keeps per-stage
+queue statistics, the knob a production staged system would use for
+admission control (SEDA-style); here they feed the ablation reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..db.engine import Database, Session
+from ..workloads.tpch import TpchDatabase
+from .scheduler import CohortScheduler, StagedResult
+from .stage import AggStage, FilterStage, ScanStage
+
+
+@dataclass
+class StageStats:
+    """Per-stage routing statistics."""
+
+    packets: int = 0
+    tuples_in: int = 0
+    tuples_out: int = 0
+
+
+@dataclass
+class Router:
+    """Instantiates pipelines and accounts per-stage traffic."""
+
+    db: Database
+    stats: dict[str, StageStats] = field(default_factory=dict)
+
+    def _stat(self, name: str) -> StageStats:
+        return self.stats.setdefault(name, StageStats())
+
+    def q1_pipeline(
+        self,
+        tpch: TpchDatabase,
+        producer: Session,
+        consumer: Session | None,
+        lo: int,
+        hi: int,
+        cutoff: int,
+        batch_bytes: int = 16 * 1024,
+    ) -> StagedResult:
+        """A staged TPC-H Q1 analog: scan -> filter -> grouped sum.
+
+        With ``consumer=None`` the pipeline runs cohort-scheduled on the
+        producer's context; otherwise filter/agg run on the consumer's.
+        """
+        scan = ScanStage("scan", producer.ctx, tpch.lineitem, lo, hi)
+        stage_ctx = (consumer or producer).ctx
+        filt = FilterStage("filter", stage_ctx, lambda r: r[9] <= cutoff)
+        agg = AggStage("agg", stage_ctx,
+                       group_key=lambda r: (r[7], r[8]),
+                       value=lambda r: r[4] * (1 - r[5]))
+        scheduler = CohortScheduler(self.db, batch_bytes=batch_bytes)
+        result = scheduler.run(scan, [filt, agg], producer, consumer)
+        for stage in (scan, filt, agg):
+            st = self._stat(stage.name)
+            st.packets += result.packets
+            st.tuples_in += stage.tuples_in
+            st.tuples_out += stage.tuples_out
+        result.results = agg.results()
+        return result

@@ -1,0 +1,121 @@
+"""Cohort scheduling of staged pipelines (Sections 6.2-6.3).
+
+Two policies over the same stages:
+
+- **cohort** (the paper's proposal): producer and consumer stages run on
+  the same core, the producer yields to the consumer "whenever it produces
+  enough data to fill L1-D".  One trace carries the whole pipeline; batch
+  buffers are written and immediately re-read on the same core, so the
+  consumer's batch reads cost L1 time (they are elided from the trace —
+  they hit by construction) and operator code switches once per batch.
+- **spread** (the unscheduled baseline): the consumer stages run on a
+  different core.  Two traces are produced — the producer's and the
+  consumer's — and every batch line the consumer reads goes through the
+  hierarchy, where it is found in the producer's L1 (on-chip transfer) or
+  the shared L2.  Operator code still switches per batch.
+
+The ablation bench runs both on the same machine and compares the data
+stall composition — the staged system's projected L1D-locality benefit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db.engine import Database, Session
+from .packet import TUPLE_SLOT_BYTES, BufferRing, Packet
+from .stage import ScanStage, Stage
+
+
+@dataclass
+class StagedResult:
+    """Outcome of one staged execution.
+
+    Attributes:
+        results: The pipeline's final output tuples.
+        packets: Packets routed through the pipeline.
+        traces: One trace per participating context (1 for cohort,
+            2 for spread).
+    """
+
+    results: list[tuple]
+    packets: int
+    traces: list
+
+
+class CohortScheduler:
+    """Executes a scan -> stages pipeline under a scheduling policy.
+
+    Args:
+        db: The engine instance (supplies address space and sessions).
+        batch_bytes: Batch buffer size; the paper's policy fills (half)
+            the L1D before yielding to the consumer.
+    """
+
+    def __init__(self, db: Database, batch_bytes: int = 16 * 1024):
+        if batch_bytes <= 0:
+            raise ValueError("batch_bytes must be positive")
+        self.db = db
+        self.batch_rows = max(1, batch_bytes // TUPLE_SLOT_BYTES)
+
+    def run(
+        self,
+        source: ScanStage,
+        consumers: list[Stage],
+        producer_session: Session,
+        consumer_session: Session | None = None,
+    ) -> StagedResult:
+        """Run the pipeline.
+
+        Args:
+            source: The scan stage (already bound to the producer session's
+                context).
+            consumers: Downstream stages, in pipeline order.  For cohort
+                scheduling they must be bound to the *producer's* session;
+                for spread scheduling to the consumer's.
+            producer_session: The session whose trace carries the scan.
+            consumer_session: If given, the spread policy: consumer stages
+                run on this (different) context and re-read every batch.
+
+        Returns:
+            A :class:`StagedResult`; ``finish()`` is called on the
+            sessions, so they are single-use.
+        """
+        cohort = consumer_session is None
+        ring = BufferRing(
+            self.db.space,
+            f"{producer_session.name}:{source.name}",
+            self.batch_rows,
+        )
+        packets = 0
+        results: list[tuple] = []
+        producer_tracer = producer_session.tracer
+        for rows in source.scan_batches(self.batch_rows):
+            batch = ring.acquire()
+            # The producer materializes the batch into the buffer.
+            producer_tracer.enter(source.code_region)
+            for slot in range(len(rows)):
+                producer_tracer.compute(2)
+                producer_tracer.data(batch.slot_addr(slot), write=True)
+            packet = Packet(
+                stage_name=consumers[0].name if consumers else "sink",
+                client=producer_session.name,
+                rows=rows,
+                batch=batch,
+            )
+            packets += 1
+            # Route through the consumer stages.
+            current = packet.rows
+            for i, stage in enumerate(consumers):
+                # Only the first consumer touches the batch buffer; later
+                # stages pass tuples in registers/L1 within the cohort.
+                is_batch_reader = i == 0
+                current = stage.process_batch(
+                    current, batch,
+                    batch_is_local=cohort or not is_batch_reader,
+                )
+            results.extend(current)
+        traces = [producer_session.finish()]
+        if consumer_session is not None:
+            traces.append(consumer_session.finish())
+        return StagedResult(results=results, packets=packets, traces=traces)

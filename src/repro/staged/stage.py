@@ -1,0 +1,171 @@
+"""Stages: the per-operator execution units of a staged database system.
+
+Each stage owns one relational operator's code and private state
+(Section 6.3: "a stage implements one or few similar relational operators
+and maintains private data and control mechanisms").  Stages consume a
+packet's batch buffer and emit tuples for the next stage.
+
+A stage processes a whole batch before control moves on — that is the
+instruction-locality half of staging: the operator's code footprint is
+re-used ``batch`` times per entry instead of once, amortizing I-cache
+refills across the batch (contrast with the iterator model's per-tuple
+operator switching).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..db import costs
+from ..db.exec.base import QueryContext
+from ..db.heap import HeapFile
+from .packet import BatchBuffer
+
+
+class Stage:
+    """Base stage: subclasses implement :meth:`process_batch`.
+
+    Attributes:
+        name: Stage name (also the routing key).
+        code_region: Tracer code-module label.
+    """
+
+    code_region = "exec.base"
+
+    def __init__(self, name: str, ctx: QueryContext):
+        self.name = name
+        self.ctx = ctx
+        self.tuples_in = 0
+        self.tuples_out = 0
+
+    def process_batch(self, rows: list[tuple], batch: BatchBuffer,
+                      batch_is_local: bool) -> list[tuple]:
+        """Consume one batch; return the output tuples.
+
+        Args:
+            rows: The batch's tuples.
+            batch: The buffer the producer wrote them into.
+            batch_is_local: True when this stage runs on the producer's
+                core (cohort scheduling): batch reads cost L1 time and are
+                not re-emitted; False re-reads every slot through the
+                hierarchy (the remote-consumer penalty).
+        """
+        raise NotImplementedError
+
+    def _read_batch(self, rows: list[tuple], batch: BatchBuffer,
+                    batch_is_local: bool) -> None:
+        """Emit the batch-read traffic when the batch is not L1-resident.
+
+        Batch consumption walks slot descriptors to tuples — a dependent
+        decode, like the scan's; on a remote core each line is a cross-L1
+        transfer or shared-L2 hit instead of the L1 hit cohort scheduling
+        buys.
+        """
+        if batch_is_local:
+            return
+        tracer = self.ctx.tracer
+        for slot in range(len(rows)):
+            tracer.compute(costs.EMIT_TUPLE // 2)
+            tracer.data(batch.slot_addr(slot), dependent=True)
+
+
+class ScanStage(Stage):
+    """Source stage: scans a heap range and fills batches."""
+
+    code_region = "exec.seqscan"
+
+    def __init__(self, name: str, ctx: QueryContext, heap: HeapFile,
+                 start: int, stop: int):
+        super().__init__(name, ctx)
+        self.heap = heap
+        self.start = start
+        self.stop = min(stop, heap.n_rows)
+
+    def scan_batches(self, batch_rows: int):
+        """Yield lists of up to ``batch_rows`` tuples, tracing the scan."""
+        tracer = self.ctx.tracer
+        heap = self.heap
+        fmt = heap.format
+        pool = self.ctx.pool
+        rid = self.start
+        out: list[tuple] = []
+        while rid < self.stop:
+            page_no, slot = divmod(rid, fmt.capacity)
+            pool.fetch(heap, page_no, tracer)
+            page_end = min(self.stop, (page_no + 1) * fmt.capacity)
+            tracer.enter(self.code_region)
+            base = heap.page_base(page_no)
+            while rid < page_end:
+                slot = rid - page_no * fmt.capacity
+                tracer.compute(costs.SCAN_NEXT)
+                tracer.data(fmt.record_addr(base, slot),
+                            dependent=rid % 6 != 0, stream=True)
+                out.append(heap.get(rid))
+                self.tuples_out += 1
+                rid += 1
+                if len(out) >= batch_rows:
+                    yield out
+                    out = []
+        if out:
+            yield out
+
+
+class FilterStage(Stage):
+    """Predicate stage."""
+
+    code_region = "exec.filter"
+
+    def __init__(self, name: str, ctx: QueryContext,
+                 predicate: Callable[[tuple], bool]):
+        super().__init__(name, ctx)
+        self.predicate = predicate
+
+    def process_batch(self, rows, batch, batch_is_local):
+        tracer = self.ctx.tracer
+        tracer.enter(self.code_region)
+        self._read_batch(rows, batch, batch_is_local)
+        out = []
+        for row in rows:
+            self.tuples_in += 1
+            tracer.compute(costs.PREDICATE)
+            if self.predicate(row):
+                out.append(row)
+                self.tuples_out += 1
+        return out
+
+
+class AggStage(Stage):
+    """Grouped-sum stage (the Q1-style consumer)."""
+
+    code_region = "exec.aggregate"
+
+    def __init__(self, name: str, ctx: QueryContext,
+                 group_key: Callable[[tuple], object],
+                 value: Callable[[tuple], float]):
+        super().__init__(name, ctx)
+        self.group_key = group_key
+        self.value = value
+        self.groups: dict = {}
+        self._arena = ctx.scratch(f"staged:{name}", 4096)
+
+    def process_batch(self, rows, batch, batch_is_local):
+        from ..db.util import stable_hash
+
+        tracer = self.ctx.tracer
+        tracer.enter(self.code_region)
+        self._read_batch(rows, batch, batch_is_local)
+        span = max(1, self._arena.size // 64)
+        for row in rows:
+            self.tuples_in += 1
+            key = self.group_key(row)
+            tracer.compute(costs.HASH_KEY + costs.AGG_UPDATE)
+            tracer.data(
+                self._arena.base + (stable_hash(key) % span) * 64,
+                write=True, dependent=True,
+            )
+            self.groups[key] = self.groups.get(key, 0.0) + self.value(row)
+        return []
+
+    def results(self) -> list[tuple]:
+        """Final (key, sum) pairs in first-seen order."""
+        return list(self.groups.items())

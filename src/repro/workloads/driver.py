@@ -1,0 +1,189 @@
+"""Workload driver: build per-regime trace bundles for the simulator.
+
+The paper's configurations (Section 3):
+
+- saturated OLTP: 64 clients submitting TPC-C transactions;
+- saturated DSS: 16 concurrent clients running the four-query mix with
+  random predicates;
+- unsaturated: a single client, intra-query parallelism disabled.
+
+Building traces is the expensive step (the engine actually executes every
+query and transaction), so bundles are memoized per parameter set.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..simulator.trace import Workload
+from .tpcc import TpccDatabase
+from .tpch import TpchDatabase
+
+#: Paper client counts.
+SATURATED_OLTP_CLIENTS = 64
+SATURATED_DSS_CLIENTS = 16
+
+#: Transactions per OLTP client trace (the cyclic steady-state window).
+OLTP_TXNS_PER_CLIENT = 56
+#: Transactions for the single unsaturated OLTP client.
+OLTP_UNSAT_TXNS = 120
+
+#: Chunks the DSS fact tables are split into.  Four clients share each
+#: chunk (the paper's clients all scan the same relations; chunk sharing
+#: is what makes DSS workloads benefit from shared caches — Section 5.3's
+#: "significant sharing between cores").
+DSS_SATURATED_CHUNKS = 4
+#: The unsaturated client works a 1/16 slice (intra-query parallelism
+#: disabled, Section 3): one connection's working range, which its query
+#: windows revisit across rounds.
+DSS_UNSAT_CHUNKS = 16
+
+
+@functools.lru_cache(maxsize=16)
+def oltp_workload(scale: float = 1.0, n_clients: int = SATURATED_OLTP_CLIENTS,
+                  txns_per_client: int = OLTP_TXNS_PER_CLIENT,
+                  seed: int = 42) -> Workload:
+    """Saturated OLTP bundle: ``n_clients`` TPC-C client traces."""
+    tpcc = TpccDatabase(scale=scale, seed=seed)
+    traces = [
+        tpcc.run_client(c, txns_per_client) for c in range(n_clients)
+    ]
+    return Workload(
+        name=f"tpcc-sat-{n_clients}c",
+        traces=traces,
+        kind="oltp",
+        saturated=True,
+        metadata={"scale": scale, "txns_per_client": txns_per_client},
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def oltp_unsaturated(scale: float = 1.0, seed: int = 42,
+                     txns: int = OLTP_UNSAT_TXNS) -> Workload:
+    """Unsaturated OLTP bundle: one client, one transaction stream."""
+    tpcc = TpccDatabase(scale=scale, seed=seed)
+    return Workload(
+        name="tpcc-unsat",
+        traces=[tpcc.run_client(0, txns)],
+        kind="oltp",
+        saturated=False,
+        metadata={"scale": scale},
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def dss_workload(scale: float = 1.0, n_clients: int = SATURATED_DSS_CLIENTS,
+                 seed: int = 7) -> Workload:
+    """Saturated DSS bundle: ``n_clients`` four-query client traces.
+
+    Clients partition the fact tables into ``DSS_SATURATED_CHUNKS`` chunks;
+    with more clients than chunks, chunk ownership wraps (several clients
+    re-scan the same partition — the over-saturated regime of Fig. 2).
+    """
+    tpch = TpchDatabase(scale=scale, seed=seed)
+    traces = [
+        tpch.run_client(c, DSS_SATURATED_CHUNKS, repeats=2)
+        for c in range(n_clients)
+    ]
+    return Workload(
+        name=f"tpch-sat-{n_clients}c",
+        traces=traces,
+        kind="dss",
+        saturated=True,
+        metadata={"scale": scale},
+    )
+
+
+@functools.lru_cache(maxsize=16)
+def dss_unsaturated(scale: float = 1.0, seed: int = 7) -> Workload:
+    """Unsaturated DSS bundle: one client running the four-query mix."""
+    tpch = TpchDatabase(scale=scale, seed=seed)
+    return Workload(
+        name="tpch-unsat",
+        traces=[tpch.run_client(0, DSS_UNSAT_CHUNKS, repeats=2)],
+        kind="dss",
+        saturated=False,
+        metadata={"scale": scale},
+    )
+
+
+@functools.lru_cache(maxsize=32)
+def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
+                       seed: int = 7,
+                       rows_nominal: int = 60_000) -> Workload:
+    """An intra-query parallel DSS plan (Section 6.1's opportunity).
+
+    One Q6-style scan-aggregate over ``rows_nominal`` (nominal) lineitem
+    rows, split into ``n_partitions`` independent sub-queries; each
+    partition becomes its own client trace so a machine runs them on
+    separate hardware contexts.  Response mode then measures the plan's
+    completion (the slowest partition).
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    from ..db.exec import AggSpec, Filter, SeqScan, StreamAggregate
+    from .tpch import DSS_BRANCH_MPKI, DSS_ILP, DSS_ILP_INORDER
+
+    tpch = TpchDatabase(scale=scale, seed=seed)
+    rows = min(tpch.n_lineitem, max(n_partitions,
+                                    round(rows_nominal * scale)))
+    per = rows // n_partitions
+    traces = []
+    for p in range(n_partitions):
+        lo = p * per
+        hi = rows if p == n_partitions - 1 else lo + per
+        sess = tpch.db.session(
+            f"q6-part{p}", ilp=DSS_ILP, branch_mpki=DSS_BRANCH_MPKI,
+            ilp_inorder=DSS_ILP_INORDER,
+        )
+        scan = SeqScan(sess.ctx, tpch.lineitem, start=lo, stop=hi)
+        filt = Filter(sess.ctx, scan,
+                      lambda r: r[5] >= 0.05 and r[3] < 24, n_terms=3)
+        agg = StreamAggregate(sess.ctx, filt, [
+            AggSpec("sum", lambda r: r[4] * r[5], "revenue"),
+        ])
+        agg.execute()
+        traces.append(sess.finish())
+    return Workload(
+        name=f"dss-parallel-{n_partitions}p",
+        traces=traces,
+        kind="dss",
+        saturated=False,
+        metadata={"scale": scale, "partitions": n_partitions},
+    )
+
+
+def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
+                 n_clients: int | None = None) -> Workload:
+    """Dispatch: (kind, regime) -> the matching bundle.
+
+    Args:
+        kind: ``"oltp"`` or ``"dss"``.
+        regime: ``"saturated"`` or ``"unsaturated"``.
+        scale: Study-wide scale factor.
+        seed: Override the default seed.
+        n_clients: Override the paper's client count (saturated only).
+    """
+    if kind not in ("oltp", "dss"):
+        raise ValueError(f"unknown workload kind {kind!r}")
+    if regime not in ("saturated", "unsaturated"):
+        raise ValueError(f"unknown regime {regime!r}")
+    if kind == "oltp":
+        if regime == "saturated":
+            kwargs = {"scale": scale}
+            if seed is not None:
+                kwargs["seed"] = seed
+            if n_clients is not None:
+                kwargs["n_clients"] = n_clients
+            return oltp_workload(**kwargs)
+        return oltp_unsaturated(scale=scale, **(
+            {"seed": seed} if seed is not None else {}))
+    if regime == "saturated":
+        kwargs = {"scale": scale}
+        if seed is not None:
+            kwargs["seed"] = seed
+        if n_clients is not None:
+            kwargs["n_clients"] = n_clients
+        return dss_workload(**kwargs)
+    return dss_unsaturated(scale=scale, **(
+        {"seed": seed} if seed is not None else {}))

@@ -1,0 +1,112 @@
+"""Unit tests for the synthetic address space."""
+
+import pytest
+
+from repro.simulator.addresses import (
+    LINE_SIZE,
+    PAGE_SIZE,
+    AddressSpace,
+    CodeRegion,
+    line_base,
+    line_of,
+    page_of,
+)
+
+
+class TestGeometry:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+
+    def test_line_base(self):
+        assert line_base(130) == 128
+
+    def test_page_of(self):
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+
+class TestAllocator:
+    def test_regions_do_not_overlap(self):
+        sp = AddressSpace()
+        regions = [sp.alloc(f"r{i}", 1000 + 37 * i) for i in range(20)]
+        for a, b in zip(regions, regions[1:]):
+            assert a.end <= b.base
+
+    def test_page_alignment(self):
+        sp = AddressSpace()
+        r = sp.alloc("r", 100)
+        assert r.base % PAGE_SIZE == 0
+
+    def test_alloc_pages(self):
+        sp = AddressSpace()
+        r = sp.alloc_pages("t", 3)
+        assert r.size == 3 * PAGE_SIZE
+
+    def test_rejects_bad_size(self):
+        sp = AddressSpace()
+        with pytest.raises(ValueError):
+            sp.alloc("r", 0)
+
+    def test_rejects_bad_alignment(self):
+        sp = AddressSpace()
+        with pytest.raises(ValueError):
+            sp.alloc("r", 10, align=3)
+
+    def test_find(self):
+        sp = AddressSpace()
+        r1 = sp.alloc("a", 100)
+        r2 = sp.alloc("b", 100)
+        assert sp.find(r1.base + 50) is r1
+        assert sp.find(r2.base) is r2
+        assert sp.find(r2.end + PAGE_SIZE) is None
+
+    def test_allocated_bytes(self):
+        sp = AddressSpace()
+        sp.alloc("a", 100)
+        sp.alloc("b", 200)
+        assert sp.allocated_bytes == 300
+
+
+class TestRegion:
+    def test_addr_bounds(self):
+        sp = AddressSpace()
+        r = sp.alloc("r", 128)
+        assert r.addr(0) == r.base
+        assert r.addr(127) == r.base + 127
+        with pytest.raises(ValueError):
+            r.addr(128)
+        with pytest.raises(ValueError):
+            r.addr(-1)
+
+    def test_lines_rounds_up(self):
+        sp = AddressSpace()
+        r = sp.alloc("r", LINE_SIZE + 1)
+        assert r.lines == 2
+
+    def test_contains(self):
+        sp = AddressSpace()
+        r = sp.alloc("r", 64)
+        assert r.contains(r.base)
+        assert not r.contains(r.end)
+
+
+class TestCodeRegion:
+    def test_fetch_advances_and_wraps(self):
+        sp = AddressSpace()
+        r = sp.alloc("code", 4 * LINE_SIZE)
+        cr = CodeRegion(region=r, instructions_per_line=16)
+        first, n, total = cr.fetch_lines(32)  # 2 lines
+        assert first == r.base and n == 2 and total == 4
+        first, n, _ = cr.fetch_lines(32)
+        assert first == r.base + 2 * LINE_SIZE
+        first, n, _ = cr.fetch_lines(32)  # wraps to line 0
+        assert first == r.base
+
+    def test_fetch_minimum_one_line(self):
+        sp = AddressSpace()
+        r = sp.alloc("code", 4 * LINE_SIZE)
+        cr = CodeRegion(region=r)
+        _, n, _ = cr.fetch_lines(1)
+        assert n == 1

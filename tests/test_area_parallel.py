@@ -1,0 +1,82 @@
+"""Tests for the chip-area model and the parallel-query workload."""
+
+import pytest
+
+from repro.simulator.area import (
+    FAT_TO_LEAN_AREA_RATIO,
+    LEAN_CORE_MM2,
+    area_report,
+    core_area_mm2,
+    equal_area_lean,
+)
+from repro.simulator.configs import fc_cmp, fc_smp, lc_cmp
+from repro.workloads.driver import dss_parallel_query
+
+
+class TestAreaModel:
+    def test_core_ratio_is_table1(self):
+        fc = fc_cmp(n_cores=1, l2_nominal_mb=4)
+        lc = lc_cmp(n_cores=1, l2_nominal_mb=4)
+        assert core_area_mm2(fc) == FAT_TO_LEAN_AREA_RATIO * core_area_mm2(lc)
+
+    def test_report_totals(self):
+        cfg = fc_cmp(n_cores=4, l2_nominal_mb=16)
+        report = area_report(cfg)
+        assert report.core_mm2 == 4 * 3 * LEAN_CORE_MM2
+        assert report.total_mm2 == report.core_mm2 + report.l2_mm2
+        assert report.n_cores == 4
+
+    def test_smp_replicates_l2_area(self):
+        smp = area_report(fc_smp(n_nodes=4, private_l2_nominal_mb=4))
+        cmp_ = area_report(fc_cmp(n_cores=4, l2_nominal_mb=4))
+        assert smp.l2_mm2 == pytest.approx(4 * cmp_.l2_mm2)
+
+    def test_bigger_l2_bigger_area(self):
+        small = area_report(fc_cmp(l2_nominal_mb=4))
+        large = area_report(fc_cmp(l2_nominal_mb=26))
+        assert large.l2_mm2 > small.l2_mm2
+
+    def test_equal_area_core_budget(self):
+        fc = fc_cmp(n_cores=4, l2_nominal_mb=16, scale=0.25)
+        lc = equal_area_lean(fc, scale=0.25)
+        assert lc.hierarchy.n_cores == 12
+        assert lc.hierarchy.l2_nominal_mb == 16
+        assert area_report(lc).core_mm2 == pytest.approx(
+            area_report(fc).core_mm2)
+
+    def test_equal_area_rejects_lean_input(self):
+        with pytest.raises(ValueError):
+            equal_area_lean(lc_cmp(), scale=0.25)
+        with pytest.raises(ValueError):
+            equal_area_lean(fc_smp(), scale=0.25)
+
+
+class TestParallelQuery:
+    def test_partitions_validated(self):
+        with pytest.raises(ValueError):
+            dss_parallel_query(scale=0.02, n_partitions=0)
+
+    def test_partition_traces_cover_equal_work(self):
+        wl = dss_parallel_query(scale=0.02, n_partitions=4)
+        assert wl.n_clients == 4
+        lengths = [len(t) for t in wl.traces]
+        assert max(lengths) - min(lengths) <= max(lengths) * 0.05
+
+    def test_partitions_scan_disjoint_data(self):
+        wl = dss_parallel_query(scale=0.02, n_partitions=2)
+        a = {addr >> 6 for addr in wl.traces[0].addrs}
+        b = {addr >> 6 for addr in wl.traces[1].addrs}
+        # Lineitem ranges are disjoint; only runtime structures overlap.
+        overlap = len(a & b) / min(len(a), len(b))
+        assert overlap < 0.2
+
+    def test_total_work_independent_of_partitioning(self):
+        one = dss_parallel_query(scale=0.02, n_partitions=1)
+        four = dss_parallel_query(scale=0.02, n_partitions=4)
+        assert four.total_instructions() == pytest.approx(
+            one.total_instructions(), rel=0.05)
+
+    def test_metadata(self):
+        wl = dss_parallel_query(scale=0.02, n_partitions=3)
+        assert wl.metadata["partitions"] == 3
+        assert not wl.saturated

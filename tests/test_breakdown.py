@@ -1,0 +1,95 @@
+"""Unit and property tests for the execution-time breakdown."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.breakdown import Breakdown
+
+components = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+
+def make(**kw):
+    return Breakdown(**kw)
+
+
+class TestDerived:
+    def test_groupings(self):
+        bd = make(computation=10, i_l2=1, i_mem=2, d_l1x=3, d_l2=4,
+                  d_mem=5, d_coh=6, other=7, idle=8)
+        assert bd.i_stalls == 3
+        assert bd.d_stalls == 18
+        assert bd.d_onchip == 7
+        assert bd.d_offchip == 11
+        assert bd.busy == 38
+        assert bd.total == 46
+
+    def test_fraction(self):
+        bd = make(computation=25, d_l2=75)
+        assert bd.fraction(bd.computation) == 0.25
+        assert Breakdown().fraction(1.0) == 0.0
+
+    def test_coarse_view_sums_to_one(self):
+        bd = make(computation=1, i_l2=2, d_mem=3, other=4)
+        assert sum(bd.coarse().values()) == pytest.approx(1.0)
+
+    def test_l2_view_sums_to_one(self):
+        bd = make(computation=1, i_l2=2, d_l2=3, d_mem=4, other=5)
+        assert sum(bd.l2_view().values()) == pytest.approx(1.0)
+
+    def test_per_instruction(self):
+        bd = make(computation=100, d_l2=50)
+        cpi = bd.per_instruction(50)
+        assert cpi.computation == 2.0 and cpi.d_l2 == 1.0
+
+    def test_per_instruction_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make(computation=1).per_instruction(0)
+
+
+class TestArithmetic:
+    def test_add_in_place(self):
+        a = make(computation=1, d_l2=2)
+        a.add(make(computation=3, i_mem=4))
+        assert a.computation == 4 and a.d_l2 == 2 and a.i_mem == 4
+
+    def test_scaled_copy(self):
+        a = make(computation=2, other=4)
+        b = a.scaled(0.5)
+        assert b.computation == 1 and b.other == 2
+        assert a.computation == 2  # original untouched
+
+    def test_total_of(self):
+        parts = [make(computation=i) for i in range(5)]
+        assert Breakdown.total_of(parts).computation == 10
+
+
+@settings(max_examples=60, deadline=None)
+@given(computation=components, i_l2=components, i_mem=components,
+       d_l1x=components, d_l2=components, d_mem=components,
+       d_coh=components, other=components, idle=components)
+def test_breakdown_invariants(**kw):
+    """Properties: components partition busy time; views are consistent."""
+    bd = Breakdown(**kw)
+    assert bd.busy == pytest.approx(
+        bd.computation + bd.i_stalls + bd.d_stalls + bd.other)
+    assert bd.d_stalls == pytest.approx(bd.d_onchip + bd.d_offchip)
+    if bd.busy > 0:
+        assert sum(bd.coarse().values()) == pytest.approx(1.0)
+        assert sum(bd.l2_view().values()) == pytest.approx(1.0)
+    # per_instruction preserves ratios.
+    cpi = bd.per_instruction(7)
+    assert cpi.busy == pytest.approx(bd.busy / 7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.builds(Breakdown, computation=components, d_l2=components,
+              other=components),
+    max_size=8,
+))
+def test_total_of_equals_field_sums(parts):
+    total = Breakdown.total_of(parts)
+    assert total.computation == pytest.approx(
+        sum(p.computation for p in parts))
+    assert total.busy == pytest.approx(sum(p.busy for p in parts))

@@ -1,0 +1,114 @@
+"""Tests for the catalog and the Database/Session facade."""
+
+import pytest
+
+from repro.db import Database, Schema
+from repro.db.page import PageLayout
+from repro.db.types import int64
+
+
+def schema(name="t"):
+    return Schema(name, [int64("id"), int64("v")])
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        db = Database()
+        heap = db.catalog.create_table(schema())
+        assert db.catalog.table("t") is heap
+        assert "t" in db.catalog.table_names
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.catalog.create_table(schema())
+        with pytest.raises(ValueError):
+            db.catalog.create_table(schema())
+
+    def test_missing_table(self):
+        with pytest.raises(KeyError):
+            Database().catalog.table("nope")
+
+    def test_btree_index_populated(self):
+        db = Database()
+        heap = db.catalog.create_table(schema())
+        for i in range(50):
+            heap.append((i, i * 2))
+        idx = db.catalog.create_btree_index("t_pk", "t", key=lambda r: r[0])
+        assert idx.search(17) == 17  # rid == insertion order
+        assert db.catalog.index("t_pk") is idx
+        assert db.catalog.indexed_table("t_pk") is heap
+
+    def test_hash_index_populated(self):
+        db = Database()
+        heap = db.catalog.create_table(schema())
+        for i in range(20):
+            heap.append((i % 5, i))
+        idx = db.catalog.create_hash_index("t_h", "t", key=lambda r: r[0])
+        assert len(idx.search(3)) == 4
+
+    def test_duplicate_index_rejected(self):
+        db = Database()
+        db.catalog.create_table(schema())
+        db.catalog.create_btree_index("i", "t", key=lambda r: r[0])
+        with pytest.raises(ValueError):
+            db.catalog.create_hash_index("i", "t", key=lambda r: r[0])
+
+    def test_unpopulated_index(self):
+        db = Database()
+        heap = db.catalog.create_table(schema())
+        heap.append((1, 1))
+        idx = db.catalog.create_btree_index("i", "t", key=lambda r: r[0],
+                                            populate=False)
+        assert idx.n_entries == 0
+
+    def test_total_data_bytes(self):
+        db = Database()
+        a = db.catalog.create_table(schema("a"))
+        b = db.catalog.create_table(
+            schema("b"), layout=PageLayout.PAX,
+            n_virtual_rows=10_000, row_source=lambda r: (r, r))
+        a.append((1, 1))
+        assert (db.catalog.total_data_bytes()
+                == a.footprint_bytes + b.footprint_bytes)
+
+
+class TestSessions:
+    def test_traced_session_produces_trace(self):
+        db = Database()
+        sess = db.session("c0", ilp=2.0)
+        sess.tracer.compute(10)
+        sess.tracer.data(0x1234)
+        trace = sess.finish()
+        assert trace.name == "c0"
+        assert trace.ilp == 2.0
+
+    def test_untraced_session_cannot_finish(self):
+        db = Database()
+        sess = db.session("c0", traced=False)
+        with pytest.raises(TypeError):
+            sess.finish()
+
+    def test_session_transactions(self):
+        db = Database()
+        sess = db.session("c0", traced=False)
+        txn = sess.begin()
+        sess.commit(txn)
+        assert db.txns.committed == 1
+        txn2 = sess.begin()
+        sess.abort(txn2)
+        assert db.txns.aborted == 1
+
+    def test_scratch_reused_across_queries(self):
+        db = Database()
+        sess = db.session("c0", traced=False)
+        a = sess.ctx.scratch("sort", 1024)
+        b = sess.ctx.scratch("sort", 512)
+        assert a is b
+        c = sess.ctx.scratch("sort", 4096)  # larger: reallocates
+        assert c is not a
+
+    def test_distinct_clients_distinct_scratch(self):
+        db = Database()
+        a = db.session("c0", traced=False).ctx.scratch("sort", 1024)
+        b = db.session("c1", traced=False).ctx.scratch("sort", 1024)
+        assert a.base != b.base

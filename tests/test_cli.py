@@ -1,0 +1,45 @@
+"""Tests for the command-line figure runner."""
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestCli:
+    def test_list_target(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "available targets" in capsys.readouterr().out
+
+    def test_unknown_target_fails(self, capsys):
+        assert main(["figured"]) == 2
+        assert "unknown targets" in capsys.readouterr().err
+
+    def test_profile_usage_error(self, capsys):
+        assert main(["profile"]) == 2
+        assert main(["profile", "olap"]) == 2
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Out-of-order" in out and "In-order" in out
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        assert "Cacti model" in capsys.readouterr().out
+
+    def test_scale_flag_accepted(self, capsys):
+        assert main(["--scale", "0.05", "table1"]) == 0
+        assert "scale 0.05" in capsys.readouterr().out
+
+    @pytest.mark.slow
+    def test_profile_oltp(self, capsys):
+        assert main(["--scale", "0.05", "profile", "oltp"]) == 0
+        out = capsys.readouterr().out
+        assert "union data footprint" in out
+        assert "storage.btree" in out

@@ -1,0 +1,61 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the first thing an adopter executes; these tests keep them
+green.  They run in-process (each example guards its entry point with
+``__main__``) by importing and calling ``main()``.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.argv = old_argv
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Lean-camp throughput advantage" in out
+
+    def test_cache_size_study(self, capsys):
+        run_example("cache_size_study.py", ["oltp"])
+        out = capsys.readouterr().out
+        assert "latency tax" in out
+
+    def test_cache_size_study_rejects_bad_workload(self):
+        with pytest.raises(SystemExit):
+            run_example("cache_size_study.py", ["olap"])
+
+    def test_run_your_own_query(self, capsys):
+        run_example("run_your_own_query.py")
+        out = capsys.readouterr().out
+        assert "Revenue by category" in out
+        assert "FC-CMP" in out and "LC-CMP" in out
+
+    def test_staged_scheduling(self, capsys):
+        run_example("staged_scheduling.py")
+        out = capsys.readouterr().out
+        assert "staged / cohort" in out
+
+    def test_microbench_calibration(self, capsys):
+        run_example("microbench_calibration.py")
+        out = capsys.readouterr().out
+        assert "L1D sensitivity" in out

@@ -1,0 +1,91 @@
+"""Tests for plan tree introspection (children / explain)."""
+
+from repro.db import Database, Schema
+from repro.db.exec import (
+    AggSpec,
+    Filter,
+    HashAggregate,
+    HashJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    Sort,
+    StreamAggregate,
+)
+from repro.db.types import int64
+
+
+def make_ctx_and_heaps():
+    db = Database()
+    a = db.catalog.create_table(Schema("a", [int64("k"), int64("v")]))
+    b = db.catalog.create_table(Schema("b", [int64("k"), int64("w")]))
+    for i in range(10):
+        a.append((i, i))
+        b.append((i, i * 2))
+    return db.session("c", traced=False).ctx, a, b
+
+
+class TestChildren:
+    def test_leaf_has_no_children(self):
+        ctx, a, _ = make_ctx_and_heaps()
+        assert SeqScan(ctx, a).children == []
+
+    def test_unary_chain(self):
+        ctx, a, _ = make_ctx_and_heaps()
+        scan = SeqScan(ctx, a)
+        filt = Filter(ctx, scan, lambda r: True)
+        sort = Sort(ctx, filt, key=lambda r: r[0])
+        assert sort.children == [filt]
+        assert filt.children == [scan]
+
+    def test_hash_join_children_order(self):
+        ctx, a, b = make_ctx_and_heaps()
+        sa, sb = SeqScan(ctx, a), SeqScan(ctx, b)
+        j = HashJoin(ctx, sa, sb, build_key=lambda r: r[0],
+                     probe_key=lambda r: r[0])
+        assert j.children == [sa, sb]  # build first, then probe
+
+    def test_merge_join_children_order(self):
+        ctx, a, b = make_ctx_and_heaps()
+        sa, sb = SeqScan(ctx, a), SeqScan(ctx, b)
+        j = MergeJoin(ctx, sa, sb, left_key=lambda r: r[0],
+                      right_key=lambda r: r[0])
+        assert j.children == [sa, sb]
+
+    def test_nested_loop_children(self):
+        ctx, a, b = make_ctx_and_heaps()
+        sa, sb = SeqScan(ctx, a), SeqScan(ctx, b)
+        j = NestedLoopJoin(ctx, sa, sb, lambda o, i: True)
+        assert j.children == [sa, sb]
+
+
+class TestExplain:
+    def test_tree_rendering(self):
+        ctx, a, b = make_ctx_and_heaps()
+        plan = HashAggregate(
+            ctx,
+            HashJoin(
+                ctx,
+                Filter(ctx, SeqScan(ctx, a), lambda r: True),
+                SeqScan(ctx, b),
+                build_key=lambda r: r[0], probe_key=lambda r: r[0],
+            ),
+            lambda r: r[0],
+            [AggSpec("count")],
+        )
+        text = plan.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("HashAggregate")
+        assert lines[1] == "  " + "HashJoin(join(a,b))"
+        assert lines[2].startswith("    Filter")
+        assert lines[3].startswith("      SeqScan")
+        assert lines[4] == "    SeqScan(b)"
+
+    def test_explain_matches_execution_shape(self):
+        """Every operator reachable in explain() actually participates."""
+        ctx, a, _ = make_ctx_and_heaps()
+        agg = StreamAggregate(ctx, Filter(ctx, SeqScan(ctx, a),
+                                          lambda r: r[0] % 2 == 0),
+                              [AggSpec("count")])
+        assert agg.execute() == [(5,)]
+        assert agg.explain().count("\n") == 2  # 3 nodes

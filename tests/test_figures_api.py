@@ -1,0 +1,52 @@
+"""Tests for the programmatic figure API (repro.core.figures)."""
+
+import pytest
+
+from repro.core import figures
+from repro.core.experiment import Experiment
+
+TINY = 0.02
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(scale=TINY, measure_cycles=40_000)
+
+
+class TestFastFigures:
+    def test_table1_text(self):
+        text = figures.table1_text()
+        assert "FC" in text and "LC" in text
+        assert "3 x LC size" in text
+
+    def test_figure1_sections(self):
+        text = figures.figure1()
+        assert "Fig 1(a)" in text and "Fig 1(b)" in text
+        assert "paper vs measured" in text
+
+
+@pytest.mark.slow
+class TestSimulatedFigures:
+    def test_figure4_has_both_panels(self, exp):
+        text = figures.figure4(exp)
+        assert "LC response time" in text
+        assert "LC throughput" in text
+        assert "paper vs measured" in text
+
+    def test_figure5_has_eight_bars(self, exp):
+        text = figures.figure5(exp)
+        for label in ("FC/OLTP/saturated", "LC/DSS/unsaturated"):
+            assert label in text
+        assert text.count("computation=") == 8
+
+    def test_figure7_reports_both_machines(self, exp):
+        text = figures.figure7(exp)
+        assert "SMP/OLTP" in text and "CMP/DSS" in text
+        assert "coherence" in text
+
+    def test_every_simulated_figure_renders(self, exp):
+        for fn in (figures.figure2, figures.figure3, figures.figure6,
+                   figures.figure8):
+            text = fn(exp)
+            assert "paper vs measured" in text
+            assert len(text) > 200

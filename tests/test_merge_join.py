@@ -1,0 +1,87 @@
+"""Tests for the sort-merge join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db import Database, Schema
+from repro.db.exec import MergeJoin, SeqScan, Sort
+from repro.db.types import int64
+
+
+def table(db, name, rows):
+    heap = db.catalog.create_table(Schema(name, [int64("k"), int64("v")]))
+    for row in rows:
+        heap.append(row)
+    return heap
+
+
+def join_rows(left_rows, right_rows):
+    db = Database()
+    lt = table(db, "l", left_rows)
+    rt = table(db, "r", right_rows)
+    ctx = db.session("c", traced=False).ctx
+    mj = MergeJoin(ctx, SeqScan(ctx, lt), SeqScan(ctx, rt),
+                   left_key=lambda r: r[0], right_key=lambda r: r[0])
+    return mj.execute()
+
+
+class TestMergeJoin:
+    def test_one_to_one(self):
+        out = join_rows([(1, 10), (2, 20), (4, 40)],
+                        [(2, 200), (3, 300), (4, 400)])
+        assert out == [(2, 20, 2, 200), (4, 40, 4, 400)]
+
+    def test_many_to_many_cross_product(self):
+        out = join_rows([(1, 1), (1, 2)], [(1, 10), (1, 20), (1, 30)])
+        assert len(out) == 6
+        assert {(a, b) for _, a, _, b in out} == {
+            (v, w) for v in (1, 2) for w in (10, 20, 30)}
+
+    def test_disjoint_inputs(self):
+        assert join_rows([(1, 0)], [(2, 0)]) == []
+
+    def test_empty_side(self):
+        assert join_rows([], [(1, 0)]) == []
+        assert join_rows([(1, 0)], []) == []
+
+    def test_out_of_order_input_rejected(self):
+        with pytest.raises(ValueError):
+            join_rows([(2, 0), (1, 0)], [(1, 0), (2, 0)])
+
+    def test_schema_renames_duplicates(self):
+        db = Database()
+        lt = table(db, "l", [(1, 1)])
+        rt = table(db, "r", [(1, 2)])
+        ctx = db.session("c", traced=False).ctx
+        mj = MergeJoin(ctx, SeqScan(ctx, lt), SeqScan(ctx, rt),
+                       left_key=lambda r: r[0], right_key=lambda r: r[0])
+        names = [c.name for c in mj.schema.columns]
+        assert len(names) == len(set(names))
+
+    def test_composes_with_sort(self):
+        db = Database()
+        lt = table(db, "l", [(3, 1), (1, 2), (2, 3)])
+        rt = table(db, "r", [(2, 9), (3, 8), (1, 7)])
+        ctx = db.session("c", traced=False).ctx
+        mj = MergeJoin(
+            ctx,
+            Sort(ctx, SeqScan(ctx, lt), key=lambda r: r[0]),
+            Sort(ctx, SeqScan(ctx, rt), key=lambda r: r[0]),
+            left_key=lambda r: r[0], right_key=lambda r: r[0],
+        )
+        assert [r[0] for r in mj.execute()] == [1, 2, 3]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=40),
+    st.lists(st.tuples(st.integers(0, 20), st.integers()), max_size=40),
+)
+def test_merge_join_matches_hash_join(left, right):
+    """Property: merge join over sorted inputs == hash join output."""
+    left = sorted(left)
+    right = sorted(right)
+    out = join_rows(left, right)
+    naive = [l + r for l in left for r in right if l[0] == r[0]]
+    assert sorted(out) == sorted(naive)

@@ -1,0 +1,86 @@
+"""Property tests on the timing simulation's global invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.cores import FatCore, LeanCore, fat_core_params, lean_core_params
+from repro.simulator.hierarchy import HierarchyParams, SharedL2Hierarchy
+from repro.simulator.machine import Machine
+from repro.simulator.configs import fc_cmp, lc_cmp
+from repro.simulator.trace import TraceBuilder, Workload
+
+event_strategy = st.tuples(
+    st.integers(1, 300),                       # icount
+    st.integers(0, 1 << 18),                   # line offset
+    st.integers(0, 0x13),                      # flags (subset incl stream)
+)
+
+
+def build_trace(events, name="t"):
+    tb = TraceBuilder(name, ilp=2.0, branch_mpki=3.0, ilp_inorder=1.2)
+    rid = tb.register_code("mod", 0x10_0000, 64)
+    for icount, line, flags in events:
+        tb.event(icount, 0x4000_0000 + line * 64, flags, rid)
+    return tb.build()
+
+
+def make_hier():
+    return SharedL2Hierarchy(HierarchyParams(
+        n_cores=1, l2_mb=0.5, l2_nominal_mb=8.0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(event_strategy, min_size=1, max_size=120))
+def test_fat_core_time_equals_breakdown(events):
+    """Property: the fat core's clock equals its accounted busy time."""
+    trace = build_trace(events)
+    core = FatCore(0, fat_core_params(), make_hier(), [trace])
+    for _ in range(len(events)):
+        core.step()
+    assert core.breakdown.busy == pytest.approx(core.t, rel=1e-9)
+    assert core.retired == trace.total_instructions
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.lists(event_strategy, min_size=1, max_size=40),
+                min_size=1, max_size=4))
+def test_lean_core_conserves_time(per_context_events):
+    """Property: a lean core's breakdown partitions its elapsed time, for
+    any context count and any reference mix."""
+    traces = [[build_trace(evts, name=f"c{i}")]
+              for i, evts in enumerate(per_context_events)]
+    core = LeanCore(0, lean_core_params(), make_hier(), traces)
+    for _ in range(500):
+        core.step()
+    assert core.breakdown.total == pytest.approx(core.t, rel=1e-6, abs=1e-6)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(event_strategy, min_size=20, max_size=80),
+       st.integers(1, 4))
+def test_machine_retires_all_instructions_in_response_mode(events, n_cores):
+    """Property: response mode retires exactly one pass of the trace
+    (modulo the warm prefix) on any machine size."""
+    trace = build_trace(events)
+    wl = Workload("w", [trace])
+    machine = Machine(fc_cmp(n_cores=n_cores, l2_nominal_mb=1, scale=1.0))
+    result = machine.run(wl, mode="response", warm_passes=0)
+    assert result.retired == trace.total_instructions
+    assert result.response_cycles > 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.lists(event_strategy, min_size=30, max_size=60))
+def test_camps_agree_on_work_disagree_on_time(events):
+    """Property: both camps retire the same instructions for a trace pass;
+    the lean camp is never faster single-threaded."""
+    trace = build_trace(events)
+    results = {}
+    for builder in (fc_cmp, lc_cmp):
+        machine = Machine(builder(n_cores=2, l2_nominal_mb=1, scale=1.0))
+        results[builder.__name__] = machine.run(
+            Workload("w", [trace]), mode="response", warm_passes=0)
+    assert results["fc_cmp"].retired == results["lc_cmp"].retired
+    assert (results["lc_cmp"].response_cycles
+            >= results["fc_cmp"].response_cycles * 0.95)

@@ -1,0 +1,67 @@
+"""Tests for the SMP hierarchy's instruction path and stats plumbing."""
+
+from repro.simulator.coherence import PrivateL2Hierarchy, SHARED
+from repro.simulator.hierarchy import L1, L2, MEM, HierarchyParams
+
+
+def make_smp(**kw):
+    params = HierarchyParams(
+        n_cores=2, l1i_kb=16, l2_mb=0.25, l2_nominal_mb=4.0,
+        l2_latency=12, **kw,
+    )
+    return PrivateL2Hierarchy(params)
+
+
+CODE = 0x0200_0000
+
+
+class TestSmpInstrPath:
+    def test_small_footprint_cheap(self):
+        h = make_smp()
+        total = 0
+        for _ in range(50):
+            exposed, _ = h.instr_block(0, CODE, 64, 2, True, 0.0)
+            total += exposed
+        assert total <= 50 * h.params.jump_bubble_cycles
+
+    def test_thrashing_jump_fetches_into_local_l2(self):
+        h = make_smp()
+        regions = [(CODE + i * 0x10000, 256) for i in range(8)]
+        levels = set()
+        for i in range(100):
+            base, lines = regions[i % len(regions)]
+            _, level = h.instr_block(0, base, lines, 2, True, 0.0)
+            levels.add(level)
+        # First fetches go to memory, refetches hit the private L2.
+        assert MEM in levels and L2 in levels
+        # Code lines are installed read-shared, never owned.
+        state = h.l2_caches[0].lookup(CODE >> 6)
+        assert state in (None, SHARED)
+
+    def test_instr_blocks_counted(self):
+        h = make_smp()
+        for _ in range(7):
+            h.instr_block(1, CODE, 8, 1, False, 0.0)
+        assert h.stats.instr_blocks == 7
+
+    def test_stream_buffer_toggle(self):
+        totals = {}
+        for label, isb in (("on", True), ("off", False)):
+            h = make_smp(stream_buffers=isb)
+            regions = [(CODE + i * 0x10000, 256) for i in range(8)]
+            t = 0
+            for i in range(150):
+                base, lines = regions[i % len(regions)]
+                e, _ = h.instr_block(0, base, lines, 8, i % 5 == 0, 0.0)
+                t += e
+            totals[label] = t
+        assert totals["off"] > totals["on"]
+
+    def test_reset_stats_preserves_cache_state(self):
+        h = make_smp()
+        h.data_access(0, 0x4000_0000, False, 0.0)
+        h.reset_stats()
+        assert h.stats.data_accesses == 0
+        # State survives: the line still hits in L1.
+        _, level = h.data_access(0, 0x4000_0000, False, 0.0)
+        assert level == L1

@@ -1,0 +1,113 @@
+"""TPC-C consistency conditions over the workload's transaction logic.
+
+The TPC-C specification defines cross-table consistency conditions that
+must hold after any mix of transactions; checking them here validates that
+our transaction implementations maintain real database semantics (not just
+plausible traces).
+"""
+
+import random
+
+import pytest
+
+from repro.workloads.tpcc import TpccDatabase
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def ran_tpcc():
+    """A database that has executed a real multi-client mix."""
+    tpcc = TpccDatabase(scale=SCALE, seed=31)
+    for client in range(4):
+        tpcc.run_client(client, 25)
+    return tpcc
+
+
+def district_orders(tpcc, w, d):
+    return [
+        (rid, row) for rid, row in tpcc.orders.scan()
+        if row[1] == w and row[2] == d
+    ]
+
+
+class TestConsistency:
+    def test_next_o_id_matches_order_count(self, ran_tpcc):
+        """Condition 1-ish: d_next_o_id - 1 equals the orders inserted for
+        that district (order ids are dense from 1)."""
+        tpcc = ran_tpcc
+        for w in range(tpcc.cfg.warehouses):
+            for d in range(tpcc.cfg.districts_per_wh):
+                next_o = tpcc.district.get(tpcc.district_rid(w, d))[2]
+                n_orders = len(district_orders(tpcc, w, d))
+                assert next_o - 1 == n_orders
+
+    def test_order_ids_dense_and_unique(self, ran_tpcc):
+        tpcc = ran_tpcc
+        for w in range(tpcc.cfg.warehouses):
+            for d in range(tpcc.cfg.districts_per_wh):
+                ids = sorted(row[0] for _, row in district_orders(tpcc, w, d))
+                assert ids == list(range(1, len(ids) + 1))
+
+    def test_order_line_counts_match_headers(self, ran_tpcc):
+        """Condition 3-ish: every order has exactly o_ol_cnt order lines."""
+        tpcc = ran_tpcc
+        from collections import Counter
+        lines_per_order = Counter()
+        for _, ol in tpcc.order_line.scan():
+            lines_per_order[(ol[1], ol[2], ol[0])] += 1
+        for _, o in tpcc.orders.scan():
+            key = (o[1], o[2], o[0])
+            assert lines_per_order[key] == o[6]
+
+    def test_warehouse_ytd_equals_district_ytd_sum(self, ran_tpcc):
+        """Condition 2-ish: payments bump W_YTD and the district D_YTD by
+        the same amounts, so the deltas must agree per warehouse."""
+        tpcc = ran_tpcc
+        init_w = 300_000.0
+        init_d = 30_000.0
+        for w in range(tpcc.cfg.warehouses):
+            w_delta = tpcc.warehouse.get(w)[1] - init_w
+            d_delta = sum(
+                tpcc.district.get(tpcc.district_rid(w, d))[3] - init_d
+                for d in range(tpcc.cfg.districts_per_wh)
+            )
+            assert w_delta == pytest.approx(d_delta)
+
+    def test_history_rows_match_payment_count(self, ran_tpcc):
+        """Every payment inserts exactly one history row, and payment
+        amounts flow into warehouse YTD."""
+        tpcc = ran_tpcc
+        total_paid = sum(row[3] for _, row in tpcc.history.scan())
+        ytd_delta = sum(
+            tpcc.warehouse.get(w)[1] - 300_000.0
+            for w in range(tpcc.cfg.warehouses)
+        )
+        assert total_paid == pytest.approx(ytd_delta)
+
+    def test_new_order_queue_subset_of_orders(self, ran_tpcc):
+        """Every queued new-order key references an existing order that is
+        still undelivered (carrier unset)."""
+        tpcc = ran_tpcc
+        for (w, d, o_id), norid in tpcc.new_order_idx.items():
+            found = tpcc.orders_idx.search((w, d, o_id))
+            assert found is not None
+            assert tpcc.orders.get(found)[5] == -1  # no carrier yet
+
+    def test_delivered_orders_left_the_queue(self, ran_tpcc):
+        tpcc = ran_tpcc
+        queued = {k for k, _ in tpcc.new_order_idx.items()}
+        for _, o in tpcc.orders.scan():
+            if o[5] != -1:  # delivered
+                assert (o[1], o[2], o[0]) not in queued
+
+    def test_stock_quantity_domain(self, ran_tpcc):
+        """Stock quantities stay in TPC-C's wrapped domain (> 0 always,
+        replenished by +91 when falling under 10)."""
+        tpcc = ran_tpcc
+        rng = random.Random(0)
+        touched = list(tpcc.stock._overlay)  # rows updated by NewOrder
+        assert touched, "the mix must have updated stock"
+        for rid in touched:
+            qty = tpcc.stock.get(rid)[2]
+            assert qty >= 10 or qty > 0

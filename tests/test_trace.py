@@ -1,0 +1,106 @@
+"""Unit tests for the trace format and builders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.trace import (
+    FLAG_DEPENDENT,
+    FLAG_STREAM,
+    FLAG_WRITE,
+    Trace,
+    TraceBuilder,
+    Workload,
+)
+
+
+def build_trace(events, **kw):
+    tb = TraceBuilder("t", **kw)
+    rid = tb.register_code("mod", 0x1000, 8)
+    for icount, addr, flags in events:
+        tb.event(icount, addr, flags, rid)
+    return tb.build()
+
+
+class TestBuilder:
+    def test_basic_roundtrip(self):
+        tr = build_trace([(10, 0x100, 0), (20, 0x200, FLAG_WRITE)])
+        assert len(tr) == 2
+        assert list(tr.icounts) == [10, 20]
+        assert list(tr.addrs) == [0x100, 0x200]
+        assert tr.total_instructions == 30
+        assert tr.total_references == 2
+
+    def test_empty_trace_rejected(self):
+        tb = TraceBuilder("t")
+        with pytest.raises(ValueError):
+            tb.build()
+
+    def test_negative_icount_rejected(self):
+        tb = TraceBuilder("t")
+        with pytest.raises(ValueError):
+            tb.event(-1, 0x100)
+
+    def test_register_code_deduplicates(self):
+        tb = TraceBuilder("t")
+        a = tb.register_code("m", 0x1000, 4)
+        b = tb.register_code("m", 0x1000, 4)
+        c = tb.register_code("n", 0x2000, 4)
+        assert a == b and c != a
+
+    def test_flag_fractions(self):
+        tr = build_trace([
+            (1, 0x100, FLAG_WRITE),
+            (1, 0x200, FLAG_DEPENDENT),
+            (1, 0x300, FLAG_DEPENDENT | FLAG_WRITE),
+            (1, 0x400, 0),
+        ])
+        assert tr.write_fraction() == 0.5
+        assert tr.dependent_fraction() == 0.5
+
+    def test_distinct_lines(self):
+        tr = build_trace([(1, 0, 0), (1, 63, 0), (1, 64, 0), (1, 128, 0)])
+        assert tr.distinct_lines() == 3
+
+    def test_ilp_inorder_defaults(self):
+        tr = build_trace([(1, 0, 0)], ilp=2.0)
+        assert tr.ilp_inorder == pytest.approx(1.5)
+        tr2 = build_trace([(1, 0, 0)], ilp=2.0, ilp_inorder=1.1)
+        assert tr2.ilp_inorder == 1.1
+
+    def test_stream_flag_stored(self):
+        tr = build_trace([(1, 0x100, FLAG_STREAM)])
+        assert tr.flags[0] & FLAG_STREAM
+
+    def test_icount_clamped_to_storage(self):
+        tr = build_trace([(2**40, 0x100, 0)])
+        assert tr.icounts[0] == 0xFFFF_FFFF
+
+
+class TestWorkload:
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            Workload("w", [])
+
+    def test_counts(self):
+        t1 = build_trace([(5, 0, 0)])
+        t2 = build_trace([(7, 0, 0), (3, 64, 0)])
+        wl = Workload("w", [t1, t2])
+        assert wl.n_clients == 2
+        assert wl.total_instructions() == 15
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.integers(0, 10_000),
+              st.integers(0, 2**40),
+              st.integers(0, 0x1F)),
+    min_size=1, max_size=200,
+))
+def test_trace_roundtrip_property(events):
+    """Property: every event survives the builder byte-for-byte."""
+    tr = build_trace(events)
+    assert list(tr.icounts) == [min(e[0], 0xFFFF_FFFF) for e in events]
+    assert list(tr.addrs) == [e[1] for e in events]
+    assert list(tr.flags) == [e[2] for e in events]
+    assert tr.total_instructions == sum(e[0] for e in events)
