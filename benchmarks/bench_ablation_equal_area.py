@@ -11,6 +11,7 @@ Table 1's 3x ratio) on the saturated workloads.
 
 from conftest import emit
 
+from repro.core.parallel import RunSpec
 from repro.core.reporting import format_table, paper_vs_measured
 from repro.simulator.area import area_report, equal_area_lean
 from repro.simulator.configs import BASELINE_L2_MB, fc_cmp, lc_cmp
@@ -20,6 +21,11 @@ def regenerate(exp) -> str:
     fc = fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
     lc_equal_cores = lc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
     lc_equal_area = equal_area_lean(fc, exp.scale)
+    exp.prefetch([
+        RunSpec(config, kind)
+        for kind in ("oltp", "dss")
+        for config in (fc, lc_equal_cores, lc_equal_area)
+    ])
     rows = []
     ratios = {}
     for kind in ("oltp", "dss"):

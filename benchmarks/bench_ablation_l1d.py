@@ -11,6 +11,7 @@ recover — no amount of "bring it on chip" tuning touches it.
 
 from conftest import emit
 
+from repro.core.parallel import RunSpec
 from repro.core.reporting import format_table, paper_vs_measured
 from repro.simulator.configs import BASELINE_L2_MB, fc_cmp
 
@@ -18,6 +19,11 @@ L1D_SIZES_KB = (8, 16, 32, 64, 128)
 
 
 def regenerate(exp) -> str:
+    exp.prefetch([
+        RunSpec(fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale,
+                       l1d_kb=kb), kind)
+        for kind in ("oltp", "dss") for kb in L1D_SIZES_KB
+    ])
     rows = []
     measured = {}
     for kind in ("oltp", "dss"):

@@ -10,6 +10,7 @@ as the design improves.
 
 from conftest import emit
 
+from repro.core.parallel import RunSpec
 from repro.core.reporting import format_table, paper_vs_measured
 from repro.simulator.configs import fc_cmp
 
@@ -22,6 +23,11 @@ DESIGNS = (
 
 
 def regenerate(exp) -> str:
+    exp.prefetch([
+        RunSpec(fc_cmp(n_cores=16, l2_nominal_mb=16.0, scale=exp.scale,
+                       l2_banks=banks, l2_occupancy=occupancy), "oltp")
+        for _, banks, occupancy in DESIGNS
+    ])
     rows = []
     measured = {}
     for label, banks, occupancy in DESIGNS:

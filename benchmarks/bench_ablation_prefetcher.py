@@ -8,11 +8,17 @@ stride prefetcher on and measures exactly that.
 
 from conftest import emit
 
+from repro.core.parallel import RunSpec
 from repro.core.reporting import format_table, paper_vs_measured
 from repro.simulator.configs import BASELINE_L2_MB, fc_cmp
 
 
 def regenerate(exp) -> str:
+    exp.prefetch([
+        RunSpec(fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale,
+                       stride_prefetch=pf), kind)
+        for kind in ("oltp", "dss") for pf in (False, True)
+    ])
     rows = []
     gains = {}
     for kind in ("oltp", "dss"):

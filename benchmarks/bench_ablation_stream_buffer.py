@@ -9,11 +9,17 @@ large-instruction-footprint case) and shows the I-stall component inflate.
 
 from conftest import emit
 
+from repro.core.parallel import RunSpec
 from repro.core.reporting import format_table, paper_vs_measured
 from repro.simulator.configs import BASELINE_L2_MB, fc_cmp
 
 
 def regenerate(exp) -> str:
+    exp.prefetch([
+        RunSpec(fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale,
+                       stream_buffers=sb), kind)
+        for kind in ("oltp", "dss") for sb in (True, False)
+    ])
     rows = []
     stats = {}
     for kind in ("oltp", "dss"):

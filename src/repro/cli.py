@@ -8,11 +8,18 @@ Usage::
     python -m repro profile oltp              # inspect a workload bundle
     python -m repro validate                  # the Fig. 3 comparison
     python -m repro --scale 0.1 fig6          # override the study scale
+    python -m repro --jobs 4 fig6             # fan sweeps over 4 workers
+    python -m repro --cache-dir .repro-cache all   # persistent results
+
+Parallelism and caching can also be driven from the environment:
+``REPRO_JOBS`` sets the default worker count, ``REPRO_CACHE_DIR`` the
+persistent result-cache root (see DESIGN.md §5).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -40,9 +47,11 @@ def _banner(title: str) -> str:
     return f"{line}\n{title}\n{line}"
 
 
-def run_figures(names: list[str], scale: float | None) -> int:
+def run_figures(names: list[str], scale: float | None,
+                cache_dir: str | None = None,
+                use_cache: bool = True) -> int:
     """Regenerate the named figures; returns a process exit code."""
-    exp = Experiment(scale=scale)
+    exp = Experiment(scale=scale, cache_dir=cache_dir, use_cache=use_cache)
     for name in names:
         fn, needs_exp = FIGURES[name]
         start = time.time()
@@ -72,10 +81,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=None,
                         help="study scale factor (default: REPRO_SCALE "
                              "or 0.25)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for sweep fan-out "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="persistent result-cache root (default: "
+                             "REPRO_CACHE_DIR, or no disk cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', or "
                              "'profile <oltp|dss>'")
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        # The sweep layer reads REPRO_JOBS as its default, so one knob
+        # reaches every batch submission without threading it through.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     targets = list(args.targets) or ["list"]
     if targets[0] == "list":
@@ -92,7 +117,9 @@ def main(argv: list[str] | None = None) -> int:
             return 2
         return run_profile(targets[1], args.scale)
     if targets[0] == "validate":
-        return run_figures(["fig3"], args.scale)
+        return run_figures(["fig3"], args.scale,
+                           cache_dir=args.cache_dir,
+                           use_cache=not args.no_cache)
     if targets == ["all"]:
         targets = list(FIGURES)
     unknown = [t for t in targets if t not in FIGURES]
@@ -100,4 +127,6 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown targets: {', '.join(unknown)} "
               f"(try 'list')", file=sys.stderr)
         return 2
-    return run_figures(targets, args.scale)
+    return run_figures(targets, args.scale,
+                       cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache)

@@ -6,6 +6,15 @@ machine configurations over them.  Results are memoized per
 (machine-config, workload, mode) so every benchmark and figure can ask for
 what it needs without re-simulating shared baselines.
 
+Two layers back the memo (see :mod:`repro.core.parallel`):
+
+- an optional persistent on-disk :class:`~repro.core.parallel.ResultCache`
+  (``REPRO_CACHE_DIR`` or the ``cache_dir`` argument), so repeated
+  benchmark *processes* recall results instead of re-simulating;
+- :meth:`run_many` / :meth:`prefetch`, which fan uncached measurements out
+  across a process pool (``REPRO_JOBS`` or the ``jobs`` argument) and fill
+  both caches with the results.
+
 Warm fractions are workload-dependent (DESIGN.md §1): OLTP warms a short
 prefix (its cold row stream must stay cold — the secondary working set is
 unbounded in steady state), DSS warms half (its windows revisit data across
@@ -14,30 +23,43 @@ query rounds).
 
 from __future__ import annotations
 
-from dataclasses import fields
-
 from ..simulator.configs import default_scale
 from ..simulator.machine import (
     DEFAULT_MEASURE_CYCLES,
-    Machine,
     MachineConfig,
     MachineResult,
 )
 from ..simulator.trace import Workload
 from ..workloads.driver import workload_for
+from .parallel import (
+    WARM_FRACTIONS,
+    ResultCache,
+    RunSpec,
+    config_key,
+    execute,
+    run_specs,
+)
 from .taxonomy import Camp, Cell, Regime
 
-#: Fraction of each client trace warmed functionally, per workload kind.
-WARM_FRACTIONS = {"oltp": 0.15, "dss": 0.5}
+__all__ = [
+    "WARM_FRACTIONS",
+    "Experiment",
+    "RunSpec",
+    "shared_experiment",
+]
 
 
 def _config_key(config: MachineConfig) -> tuple:
-    """A hashable identity for a machine configuration."""
-    hier = tuple(
-        (f.name, getattr(config.hierarchy, f.name))
-        for f in fields(config.hierarchy)
-    )
-    return (config.name, config.core, hier, config.smp)
+    """A hashable identity for a machine configuration (see
+    :func:`repro.core.parallel.config_key`)."""
+    return config_key(config)
+
+
+def _as_spec(spec) -> RunSpec:
+    """Coerce a RunSpec-or-tuple into a RunSpec (batch API convenience)."""
+    if isinstance(spec, RunSpec):
+        return spec
+    return RunSpec(*spec)
 
 
 class Experiment:
@@ -47,13 +69,36 @@ class Experiment:
         scale: Study-wide scale factor (defaults to ``REPRO_SCALE`` or
             0.25 — see :func:`repro.simulator.configs.default_scale`).
         measure_cycles: Default measurement window for throughput runs.
+        cache_dir: Root of the persistent result cache; None consults the
+            ``REPRO_CACHE_DIR`` environment variable (no disk cache when
+            that is unset too).
+        use_cache: Set False to disable the disk cache outright (the
+            in-memory memo always stays on).
+        cache: An explicit :class:`ResultCache` (overrides ``cache_dir``).
+
+    Attributes:
+        sim_runs: Number of actual simulations this experiment triggered
+            (memo and disk-cache hits do not count) — the counter the
+            determinism/cache tests assert on.
     """
 
     def __init__(self, scale: float | None = None,
-                 measure_cycles: float = DEFAULT_MEASURE_CYCLES):
+                 measure_cycles: float = DEFAULT_MEASURE_CYCLES,
+                 cache_dir: str | None = None,
+                 use_cache: bool = True,
+                 cache: ResultCache | None = None):
         self.scale = default_scale() if scale is None else scale
         self.measure_cycles = measure_cycles
         self._results: dict[tuple, MachineResult] = {}
+        if not use_cache:
+            self.cache = None
+        elif cache is not None:
+            self.cache = cache
+        elif cache_dir is not None:
+            self.cache = ResultCache(cache_dir)
+        else:
+            self.cache = ResultCache.from_env()
+        self.sim_runs = 0
 
     # ------------------------------------------------------------------ #
     # Workloads                                                           #
@@ -68,6 +113,23 @@ class Experiment:
     # Running                                                             #
     # ------------------------------------------------------------------ #
 
+    def _lookup(self, key: tuple) -> MachineResult | None:
+        """Memo, then disk cache (promoting disk hits into the memo)."""
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        if self.cache is not None:
+            stored = self.cache.get(key)
+            if stored is not None:
+                self._results[key] = stored
+                return stored
+        return None
+
+    def _store(self, key: tuple, result: MachineResult) -> None:
+        self._results[key] = result
+        if self.cache is not None:
+            self.cache.put(key, result)
+
     def run(self, config: MachineConfig, kind: str,
             regime: str = "saturated", n_clients: int | None = None,
             measure_cycles: float | None = None) -> MachineResult:
@@ -76,23 +138,68 @@ class Experiment:
         Unsaturated regimes run in response mode (the paper's metric for
         them); saturated regimes in throughput mode.
         """
-        mode = "response" if regime == "unsaturated" else "throughput"
-        cycles = self.measure_cycles if measure_cycles is None else measure_cycles
-        key = (_config_key(config), kind, regime, n_clients, mode, cycles,
-               self.scale)
-        cached = self._results.get(key)
+        spec = RunSpec(config, kind, regime, n_clients, measure_cycles)
+        key = spec.key(self.scale, self.measure_cycles)
+        cached = self._lookup(key)
         if cached is not None:
             return cached
-        workload = self.workload(kind, regime, n_clients=n_clients)
-        machine = Machine(config)
-        result = machine.run(
-            workload,
-            mode=mode,
-            measure_cycles=cycles,
-            warm_fraction=WARM_FRACTIONS[kind],
-        )
-        self._results[key] = result
+        result = execute(spec, self.scale, self.measure_cycles)
+        self.sim_runs += 1
+        self._store(key, result)
         return result
+
+    def run_many(self, specs, jobs: int | None = None) -> list[MachineResult]:
+        """Run (or recall) a batch of measurements, fanned across workers.
+
+        Args:
+            specs: :class:`RunSpec` instances (or tuples of RunSpec
+                arguments, ``(config, kind, ...)``).
+            jobs: Worker processes for the uncached remainder; None reads
+                ``REPRO_JOBS`` (default 1 = serial in-process).
+
+        Returns:
+            Results in spec order, field-for-field identical to what
+            :meth:`run` would produce serially (the pool workers execute
+            the same deterministic simulation path).
+        """
+        specs = [_as_spec(s) for s in specs]
+        keys = [s.key(self.scale, self.measure_cycles) for s in specs]
+        results: list[MachineResult | None] = [
+            self._lookup(k) for k in keys
+        ]
+        todo: list[int] = []
+        seen: dict[tuple, int] = {}
+        for i, (key, res) in enumerate(zip(keys, results)):
+            if res is None and key not in seen:
+                seen[key] = i
+                todo.append(i)
+        if todo:
+            fresh = run_specs([specs[i] for i in todo], self.scale,
+                              self.measure_cycles, jobs=jobs)
+            self.sim_runs += len(fresh)
+            for i, result in zip(todo, fresh):
+                self._store(keys[i], result)
+                results[i] = result
+            # Duplicate specs within the batch resolve off the memo.
+            for i, (key, res) in enumerate(zip(keys, results)):
+                if res is None:
+                    results[i] = self._results[key]
+        return results  # type: ignore[return-value]
+
+    def prefetch(self, specs, jobs: int | None = None) -> dict:
+        """Warm the memo/disk caches for ``specs``; return accounting.
+
+        Figures and benchmark drivers call this with their whole grid up
+        front, then keep their readable serial loops — every subsequent
+        :meth:`run` is a memo hit.
+        """
+        specs = list(specs)
+        before = self.sim_runs
+        self.run_many(specs, jobs=jobs)
+        return {
+            "specs": len(specs),
+            "simulated": self.sim_runs - before,
+        }
 
     def run_cell(self, cell: Cell, config_for_camp) -> MachineResult:
         """Run one taxonomy cell with ``config_for_camp(camp) -> config``."""

@@ -11,7 +11,13 @@ wrappers over these functions.
 from __future__ import annotations
 
 from ..simulator import cacti
-from ..simulator.configs import BASELINE_L2_MB, fc_cmp, fc_smp, lc_cmp
+from ..simulator.configs import (
+    BASELINE_L2_MB,
+    FIG6_L2_SIZES_MB,
+    fc_cmp,
+    fc_smp,
+    lc_cmp,
+)
 from .counters import cpi_stack
 from .historic import (
     cache_size_trend,
@@ -19,6 +25,7 @@ from .historic import (
     latency_growth_over_decade,
     latency_trend,
 )
+from .parallel import RunSpec
 from .reporting import (
     format_breakdown_table,
     format_series,
@@ -152,6 +159,12 @@ def figure4(exp) -> str:
     """Figure 4: LC response time and throughput normalized to FC."""
     fc = fc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
     lc = lc_cmp(l2_nominal_mb=BASELINE_L2_MB, scale=exp.scale)
+    exp.prefetch([
+        RunSpec(config, kind, regime)
+        for config in (fc, lc)
+        for kind in ("oltp", "dss")
+        for regime in ("saturated", "unsaturated")
+    ])
     rows = []
     measured = {}
     for kind in ("oltp", "dss"):
@@ -185,6 +198,11 @@ def figure5(exp) -> str:
     """Figure 5: execution-time breakdown for all eight taxonomy cells."""
     bars = []
     stats = {}
+    exp.prefetch([
+        RunSpec(_config_for_figure5(cell.camp, exp.scale),
+                cell.kind.value, cell.regime.value)
+        for cell in grid()
+    ])
     for cell in grid():
         result = exp.run_cell(cell, lambda camp: _config_for_figure5(camp, exp.scale))
         coarse = result.breakdown.coarse()
@@ -213,6 +231,13 @@ def figure5(exp) -> str:
 
 def figure6(exp) -> str:
     """Figure 6: L2 size/latency effects on throughput and CPI stacks."""
+    exp.prefetch([
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=size, scale=exp.scale,
+                       const_latency=cl), kind)
+        for kind in ("oltp", "dss")
+        for cl in (None, cacti.CONST_L2_LATENCY)
+        for size in FIG6_L2_SIZES_MB
+    ])
     parts = []
     series = {}
     for kind in ("oltp", "dss"):
@@ -298,6 +323,10 @@ def figure7(exp) -> str:
     """Figure 7: SMP (private MESI L2s) vs CMP (shared L2) CPI."""
     smp = fc_smp(n_nodes=4, private_l2_nominal_mb=4.0, scale=exp.scale)
     cmp_ = fc_cmp(n_cores=4, l2_nominal_mb=16.0, scale=exp.scale)
+    exp.prefetch([
+        RunSpec(config, kind)
+        for config in (smp, cmp_) for kind in ("oltp", "dss")
+    ])
     bars = []
     rows = []
     l2hit_ratio = {}

@@ -1,0 +1,287 @@
+"""Parallel sweep execution and the persistent result cache.
+
+Sweep points, taxonomy cells, and ablation grids are embarrassingly
+parallel: each is one deterministic ``Machine.run`` over a workload bundle
+that depends only on ``(kind, regime, scale, n_clients)``.  This module is
+the scaling substrate the rest of the study runs on:
+
+- :class:`RunSpec` — a picklable description of one measurement (machine
+  config + workload coordinates).  :func:`execute` turns a spec into a
+  :class:`~repro.simulator.machine.MachineResult`; it is the *only* code
+  path that simulates, so serial runs, pool workers, and cache misses all
+  produce bit-for-bit identical results (``tests/test_parallel_determinism``
+  locks this down).
+- :func:`run_specs` — fan a batch of specs across a process pool
+  (``jobs`` workers, defaulting to the ``REPRO_JOBS`` environment knob)
+  with a graceful single-process fallback when the pool is unavailable or
+  pointless (one spec, one job).
+- :class:`ResultCache` — a content-addressed on-disk cache keyed by the
+  normalized machine-config identity, the workload coordinates, and a
+  code-version salt, so repeated benchmark runs recall results instead of
+  re-simulating.  Corrupt or stale entries fall back to simulation.
+
+Determinism contract: the simulator is a pure function of its inputs (all
+randomness is seeded per workload builder; the event loop breaks time ties
+with a deterministic sequence number), so fanning specs out over processes
+cannot change any result field.  Anything that would break this — wall
+clocks, unordered iteration, shared mutable state across specs — must not
+enter :func:`execute`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent import futures
+from dataclasses import dataclass, fields
+
+from ..simulator.machine import (
+    DEFAULT_MEASURE_CYCLES,
+    Machine,
+    MachineConfig,
+    MachineResult,
+)
+from ..workloads.driver import workload_for
+
+#: Cache salt: bump whenever a change alters simulation results so stale
+#: on-disk entries are invalidated instead of silently recalled.
+CODE_VERSION = "repro-sim-v1"
+
+#: Fraction of each client trace warmed functionally, per workload kind
+#: (DESIGN.md §1: OLTP's cold row stream must stay cold, DSS's query
+#: windows revisit data across rounds).
+WARM_FRACTIONS = {"oltp": 0.15, "dss": 0.5}
+
+
+# ---------------------------------------------------------------------- #
+# Config identity                                                         #
+# ---------------------------------------------------------------------- #
+
+def _normalize(value):
+    """Recursively convert containers to hashable equivalents."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_normalize(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _normalize(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_normalize(v) for v in value))
+    return value
+
+
+def config_key(config: MachineConfig) -> tuple:
+    """A hashable identity for a machine configuration.
+
+    ``HierarchyParams`` is a mutable dataclass, so nothing stops an
+    experiment from storing a list (or other unhashable value) in a field;
+    container values are normalized to hashable tuples and anything still
+    unhashable raises a clear error instead of failing deep inside a dict
+    lookup.
+    """
+    hier = tuple(
+        (f.name, _normalize(getattr(config.hierarchy, f.name)))
+        for f in fields(config.hierarchy)
+    )
+    key = (config.name, config.core, hier, config.smp)
+    try:
+        hash(key)
+    except TypeError as exc:
+        raise TypeError(
+            f"machine config {config.name!r} has unhashable field values; "
+            "hierarchy/core fields must be scalars or containers of "
+            f"scalars ({exc})"
+        ) from exc
+    return key
+
+
+# ---------------------------------------------------------------------- #
+# Run specifications                                                      #
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One measurement: a machine configuration at workload coordinates.
+
+    Attributes:
+        config: The machine to simulate.
+        kind: ``"oltp"`` or ``"dss"``.
+        regime: ``"saturated"`` or ``"unsaturated"``.
+        n_clients: Client-count override (Fig. 2 sweeps); None uses the
+            regime's paper default.
+        measure_cycles: Window override; None uses the experiment default.
+    """
+
+    config: MachineConfig
+    kind: str
+    regime: str = "saturated"
+    n_clients: int | None = None
+    measure_cycles: float | None = None
+
+    @property
+    def mode(self) -> str:
+        """Unsaturated regimes run in response mode (the paper's metric)."""
+        return "response" if self.regime == "unsaturated" else "throughput"
+
+    def resolved_cycles(self, default_cycles: float) -> float:
+        return (default_cycles if self.measure_cycles is None
+                else self.measure_cycles)
+
+    def key(self, scale: float, default_cycles: float) -> tuple:
+        """The memoization/cache identity of this measurement."""
+        return (config_key(self.config), self.kind, self.regime,
+                self.n_clients, self.mode,
+                self.resolved_cycles(default_cycles), scale)
+
+
+def execute(spec: RunSpec, scale: float,
+            default_cycles: float = DEFAULT_MEASURE_CYCLES) -> MachineResult:
+    """Simulate one spec from scratch (no memoization, no cache).
+
+    This is the single simulation path shared by ``Experiment.run``, the
+    pool workers, and cache-miss refills, which is what makes parallel
+    results bit-for-bit identical to serial ones.
+    """
+    workload = workload_for(spec.kind, spec.regime, scale,
+                            n_clients=spec.n_clients)
+    machine = Machine(spec.config)
+    return machine.run(
+        workload,
+        mode=spec.mode,
+        measure_cycles=spec.resolved_cycles(default_cycles),
+        warm_fraction=WARM_FRACTIONS[spec.kind],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Process-pool fan-out                                                    #
+# ---------------------------------------------------------------------- #
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment knob (default 1)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _pool_worker(payload: tuple[RunSpec, float, float]) -> MachineResult:
+    spec, scale, default_cycles = payload
+    return execute(spec, scale, default_cycles)
+
+
+def run_specs(
+    specs: list[RunSpec],
+    scale: float,
+    default_cycles: float = DEFAULT_MEASURE_CYCLES,
+    jobs: int | None = None,
+) -> list[MachineResult]:
+    """Simulate ``specs`` (in order) across up to ``jobs`` processes.
+
+    Falls back to in-process serial execution when ``jobs <= 1``, when
+    there is nothing to parallelize, or when the platform cannot start a
+    process pool (restricted environments); the fallback runs the exact
+    same :func:`execute` path, so only wall-clock time changes.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if jobs <= 1 or len(specs) <= 1:
+        return [execute(s, scale, default_cycles) for s in specs]
+    payloads = [(s, scale, default_cycles) for s in specs]
+    try:
+        with futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(specs))) as pool:
+            return list(pool.map(_pool_worker, payloads))
+    except (OSError, ValueError, futures.process.BrokenProcessPool):
+        # No usable multiprocessing (sandboxed /dev/shm, fork limits...):
+        # degrade to the serial path rather than failing the experiment.
+        return [execute(s, scale, default_cycles) for s in specs]
+
+
+# ---------------------------------------------------------------------- #
+# Persistent result cache                                                 #
+# ---------------------------------------------------------------------- #
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`MachineResult` pickles.
+
+    Entries are addressed by SHA-256 of the full measurement identity
+    (normalized config key + workload kind/regime/clients/mode/cycles/scale)
+    plus a code-version ``salt``: changing the simulator bumps
+    :data:`CODE_VERSION`, which re-addresses every entry and so invalidates
+    the stale ones without any scanning or manifest.
+
+    The cache is tolerant by construction: unreadable, corrupt, or
+    wrong-type entries count as misses (and are recorded in ``errors``),
+    never exceptions — a damaged cache can only cost re-simulation.
+
+    Attributes:
+        hits/misses/stores/errors: Lifetime accounting for tests and
+            reporting.
+    """
+
+    def __init__(self, root: str, salt: str = CODE_VERSION):
+        self.root = str(root)
+        self.salt = salt
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    @classmethod
+    def from_env(cls) -> "ResultCache | None":
+        """A cache rooted at ``REPRO_CACHE_DIR``, or None when unset."""
+        root = os.environ.get("REPRO_CACHE_DIR", "").strip()
+        return cls(root) if root else None
+
+    # -- addressing ---------------------------------------------------- #
+
+    def path_for(self, key: tuple) -> str:
+        digest = hashlib.sha256(
+            repr((self.salt, key)).encode("utf-8")).hexdigest()
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    # -- access -------------------------------------------------------- #
+
+    def get(self, key: tuple) -> MachineResult | None:
+        """The cached result for ``key``, or None (miss/corrupt/stale)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated pickle, partial write, permissions, wrong format:
+            # all are recoverable by re-simulating.
+            self.errors += 1
+            self.misses += 1
+            return None
+        if not isinstance(result, MachineResult):
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: MachineResult) -> None:
+        """Store ``result`` atomically (rename over a temp file)."""
+        path = self.path_for(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stores += 1
+        except OSError:
+            # Read-only/full cache volume: caching is best-effort.
+            self.errors += 1

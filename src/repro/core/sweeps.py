@@ -2,6 +2,11 @@
 
 Each sweep returns plain ``(x, MachineResult)`` pairs; the reporting layer
 and the benchmark harness turn them into the paper's series.
+
+Sweeps are batch-submitted through :meth:`Experiment.run_many`, so with
+``REPRO_JOBS > 1`` (or an explicit ``jobs`` argument) the points simulate
+concurrently across a process pool; results are identical to the serial
+path either way (see ``tests/test_parallel_determinism.py``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ from ..simulator import cacti
 from ..simulator.configs import FIG6_L2_SIZES_MB, fc_cmp
 from ..simulator.machine import MachineResult
 from .experiment import Experiment
+from .parallel import RunSpec
 
 
 @dataclass(frozen=True)
@@ -28,6 +34,7 @@ def cache_size_sweep(
     sizes_mb: tuple[float, ...] = FIG6_L2_SIZES_MB,
     const_latency: int | None = None,
     n_cores: int = 4,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Fig. 6 sweep: saturated throughput vs. shared-L2 size on the FC CMP.
 
@@ -38,17 +45,21 @@ def cache_size_sweep(
         const_latency: Fix the hit latency (the paper's "const" curves);
             None uses the Cacti model per size ("real" curves).
         n_cores: Cores on the CMP (4 in the paper's Fig. 6).
+        jobs: Worker processes (None = the ``REPRO_JOBS`` default).
     """
-    points = []
-    for size in sizes_mb:
-        config = fc_cmp(
+    configs = [
+        fc_cmp(
             n_cores=n_cores,
             l2_nominal_mb=size,
             scale=exp.scale,
             const_latency=const_latency,
         )
-        points.append(SweepPoint(x=size, result=exp.run(config, kind)))
-    return points
+        for size in sizes_mb
+    ]
+    results = exp.run_many(
+        [RunSpec(config, kind) for config in configs], jobs=jobs)
+    return [SweepPoint(x=size, result=result)
+            for size, result in zip(sizes_mb, results)]
 
 
 def core_count_sweep(
@@ -56,15 +67,18 @@ def core_count_sweep(
     kind: str,
     core_counts: tuple[int, ...] = (4, 8, 12, 16),
     l2_nominal_mb: float = 16.0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Fig. 8 sweep: saturated throughput vs. core count at a fixed 16 MB
     shared L2 on the FC CMP."""
-    points = []
-    for n in core_counts:
-        config = fc_cmp(n_cores=n, l2_nominal_mb=l2_nominal_mb,
-                        scale=exp.scale)
-        points.append(SweepPoint(x=float(n), result=exp.run(config, kind)))
-    return points
+    configs = [
+        fc_cmp(n_cores=n, l2_nominal_mb=l2_nominal_mb, scale=exp.scale)
+        for n in core_counts
+    ]
+    results = exp.run_many(
+        [RunSpec(config, kind) for config in configs], jobs=jobs)
+    return [SweepPoint(x=float(n), result=result)
+            for n, result in zip(core_counts, results)]
 
 
 def client_count_sweep(
@@ -72,18 +86,21 @@ def client_count_sweep(
     kind: str = "dss",
     client_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
     l2_nominal_mb: float = 26.0,
+    jobs: int | None = None,
 ) -> list[SweepPoint]:
     """Fig. 2 sweep: throughput vs. concurrent clients on the FC CMP.
 
     Small client counts leave hardware contexts idle (unsaturated);
     increasing clients first fills the machine, then over-commits it.
     """
-    points = []
     config = fc_cmp(l2_nominal_mb=l2_nominal_mb, scale=exp.scale)
-    for n in client_counts:
-        result = exp.run(config, kind, "saturated", n_clients=n)
-        points.append(SweepPoint(x=float(n), result=result))
-    return points
+    results = exp.run_many(
+        [RunSpec(config, kind, "saturated", n_clients=n)
+         for n in client_counts],
+        jobs=jobs,
+    )
+    return [SweepPoint(x=float(n), result=result)
+            for n, result in zip(client_counts, results)]
 
 
 def latency_for_size(size_mb: float, const_latency: int | None) -> int:

@@ -62,7 +62,11 @@ class LockManager:
 
     def __init__(self, space: AddressSpace):
         self._table: dict = {}
-        self._held: dict[int, set] = {}
+        # Resources per txn in acquisition order (dict-as-ordered-set):
+        # release_all replays this order into the trace, so it must not
+        # depend on hash ordering (PYTHONHASHSEED varies across processes
+        # and would make traces — and thus results — irreproducible).
+        self._held: dict[int, dict] = {}
         self._region = space.alloc("lockmgr:table",
                                    _LOCK_BUCKETS * _LOCK_BUCKET_BYTES)
         self.acquires = 0
@@ -90,7 +94,7 @@ class LockManager:
         entry = self._table.get(resource)
         if entry is None:
             self._table[resource] = _LockEntry(mode, {txn_id})
-            self._held.setdefault(txn_id, set()).add(resource)
+            self._held.setdefault(txn_id, {})[resource] = None
             return
         if txn_id in entry.holders:
             if mode is LockMode.EXCLUSIVE and entry.mode is LockMode.SHARED:
@@ -104,7 +108,7 @@ class LockManager:
             return
         if entry.mode is LockMode.SHARED and mode is LockMode.SHARED:
             entry.holders.add(txn_id)
-            self._held.setdefault(txn_id, set()).add(resource)
+            self._held.setdefault(txn_id, {})[resource] = None
             return
         self.conflicts += 1
         raise LockConflict(
@@ -118,7 +122,7 @@ class LockManager:
 
         Returns the number of locks released.
         """
-        resources = self._held.pop(txn_id, set())
+        resources = self._held.pop(txn_id, {})
         tracer.enter("txn.lock")
         for resource in resources:
             tracer.compute(costs.LOCK_RELEASE)

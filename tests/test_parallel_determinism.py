@@ -1,0 +1,123 @@
+"""Bit-for-bit determinism of parallel sweep execution.
+
+Parallelizing a simulator is only safe if it cannot change results: these
+tests run a Fig. 6-style L2-size sweep through ``Experiment.run_many`` at
+``jobs=1`` (in-process) and ``jobs=4`` (process pool) and assert every
+``MachineResult`` field is identical to what the serial ``Experiment.run``
+path produces, for both workload kinds.
+"""
+
+import os
+import subprocess
+import sys
+from dataclasses import fields
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.core.parallel import RunSpec
+from repro.simulator.configs import fc_cmp
+
+SCALE = 0.02
+CYCLES = 40_000
+#: A Fig. 6-style subset of L2 sizes: enough points to exercise the pool,
+#: small enough to keep the suite fast.
+SIZES_MB = (1.0, 4.0, 16.0)
+
+
+def _experiment() -> Experiment:
+    return Experiment(scale=SCALE, measure_cycles=CYCLES, use_cache=False)
+
+
+def _sweep_specs(scale: float, kind: str) -> list[RunSpec]:
+    return [
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=size, scale=scale), kind)
+        for size in SIZES_MB
+    ]
+
+
+def _assert_identical(serial, parallel) -> None:
+    assert len(serial) == len(parallel)
+    for size, a, b in zip(SIZES_MB, serial, parallel):
+        for f in fields(a):
+            assert getattr(a, f.name) == getattr(b, f.name), (
+                f"field {f.name!r} diverged at {size} MB"
+            )
+        # Dataclass equality covers the same ground in one shot; keep it
+        # as a belt-and-braces check on the field loop above.
+        assert a == b
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("kind", ["oltp", "dss"])
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_run_many_matches_serial(kind, jobs):
+    serial_exp = _experiment()
+    serial = [
+        serial_exp.run(spec.config, kind)
+        for spec in _sweep_specs(SCALE, kind)
+    ]
+    parallel_exp = _experiment()
+    parallel = parallel_exp.run_many(_sweep_specs(SCALE, kind), jobs=jobs)
+    assert parallel_exp.sim_runs == len(SIZES_MB)
+    _assert_identical(serial, parallel)
+
+
+@pytest.mark.slow
+def test_run_many_deduplicates_and_memoizes():
+    exp = _experiment()
+    spec = _sweep_specs(SCALE, "dss")[0]
+    results = exp.run_many([spec, spec, spec], jobs=2)
+    assert exp.sim_runs == 1
+    assert results[0] == results[1] == results[2]
+    # A later serial run of the same point is a memo hit, not a re-sim.
+    again = exp.run(spec.config, "dss")
+    assert exp.sim_runs == 1
+    assert again == results[0]
+
+
+#: Digest script run both here and in a fresh interpreter: a repr of the
+#: fields that summarize one OLTP simulation.  OLTP exercises the lock
+#: manager, historically the hash-order-dependent path.
+_DIGEST_SNIPPET = """
+from repro.core.parallel import RunSpec, execute
+from repro.simulator.configs import fc_cmp
+spec = RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=4.0, scale={scale}), "oltp")
+r = execute(spec, {scale}, {cycles})
+print(repr((r.ipc, r.retired, r.breakdown, r.hier_stats, r.l2_miss_rate)))
+"""
+
+
+@pytest.mark.slow
+def test_identical_across_interpreters_and_hash_seeds():
+    """Results must not depend on PYTHONHASHSEED (set/dict iteration
+    order), or the persistent cache would recall values a fresh process
+    could never reproduce."""
+    code = _DIGEST_SNIPPET.format(scale=SCALE, cycles=CYCLES)
+    digests = []
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)),
+                           "src")
+    for hash_seed in ("0", "12345"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + [p for p in (env.get("PYTHONPATH"),) if p])
+        proc = subprocess.run(
+            [sys.executable, "-c", code], env=env, text=True,
+            capture_output=True, check=True,
+        )
+        digests.append(proc.stdout.strip())
+    assert digests[0] == digests[1]
+
+
+@pytest.mark.slow
+def test_run_many_accepts_tuples_and_mixed_regimes():
+    exp = _experiment()
+    config = fc_cmp(n_cores=4, l2_nominal_mb=4.0, scale=SCALE)
+    results = exp.run_many([
+        (config, "dss"),
+        RunSpec(config, "dss", "unsaturated"),
+    ], jobs=2)
+    assert results[0].response_cycles is None
+    assert results[1].response_cycles is not None
+    assert results[0] == exp.run(config, "dss")
+    assert results[1] == exp.run(config, "dss", "unsaturated")

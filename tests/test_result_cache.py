@@ -1,0 +1,167 @@
+"""The persistent result cache: accounting, corruption, salting, keys.
+
+The cache must be strictly an accelerator: a damaged or stale cache may
+only cost re-simulation, never change results or crash, and a warm cache
+must satisfy repeated runs with zero ``Machine.run`` calls.
+"""
+
+import os
+
+import pytest
+
+from repro.core import parallel
+from repro.core.experiment import Experiment, _config_key
+from repro.core.parallel import ResultCache, RunSpec, config_key
+from repro.simulator.configs import fc_cmp
+
+SCALE = 0.02
+CYCLES = 40_000
+
+
+def _config(l2_mb: float = 1.0, scale: float = SCALE):
+    return fc_cmp(n_cores=4, l2_nominal_mb=l2_mb, scale=scale)
+
+
+def _experiment(cache_dir, **kwargs) -> Experiment:
+    return Experiment(scale=SCALE, measure_cycles=CYCLES,
+                      cache_dir=str(cache_dir), **kwargs)
+
+
+def _cache_files(root) -> list:
+    return [os.path.join(dirpath, name)
+            for dirpath, _, names in os.walk(root)
+            for name in names if name.endswith(".pkl")]
+
+
+@pytest.mark.slow
+class TestCacheAccounting:
+    def test_miss_store_then_hit(self, tmp_path):
+        e1 = _experiment(tmp_path)
+        first = e1.run(_config(), "dss")
+        assert e1.sim_runs == 1
+        assert e1.cache.misses == 1
+        assert e1.cache.stores == 1
+        # Same process: memo hit, the disk cache is not consulted again.
+        assert e1.run(_config(), "dss") == first
+        assert e1.cache.hits == 0
+
+        # Fresh process (simulated by a fresh Experiment): disk hit.
+        e2 = _experiment(tmp_path)
+        assert e2.run(_config(), "dss") == first
+        assert e2.sim_runs == 0
+        assert e2.cache.hits == 1
+        assert e2.cache.misses == 0
+
+    def test_warm_cache_performs_zero_machine_runs(self, tmp_path,
+                                                   monkeypatch):
+        specs = [RunSpec(_config(mb), "dss") for mb in (1.0, 4.0)]
+        e1 = _experiment(tmp_path)
+        first = e1.run_many(specs, jobs=1)
+        assert e1.sim_runs == len(specs)
+
+        # With the cache warm, simulation must be unreachable: replace the
+        # Machine class on the only simulation path with a tripwire.
+        class Tripwire:
+            def __init__(self, *a, **k):
+                raise AssertionError("Machine.run called on a warm cache")
+
+        monkeypatch.setattr(parallel, "Machine", Tripwire)
+        e2 = _experiment(tmp_path)
+        second = e2.run_many(specs, jobs=1)
+        assert e2.sim_runs == 0
+        assert e2.cache.hits == len(specs)
+        assert second == first
+
+    def test_use_cache_false_disables_disk(self, tmp_path):
+        exp = _experiment(tmp_path, use_cache=False)
+        assert exp.cache is None
+        exp.run(_config(), "dss")
+        assert _cache_files(tmp_path) == []
+
+
+@pytest.mark.slow
+class TestCacheRobustness:
+    def test_corrupt_entry_falls_back_to_simulation(self, tmp_path):
+        e1 = _experiment(tmp_path)
+        first = e1.run(_config(), "dss")
+        (path,) = _cache_files(tmp_path)
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a pickle")
+
+        e2 = _experiment(tmp_path)
+        recovered = e2.run(_config(), "dss")
+        assert recovered == first
+        assert e2.sim_runs == 1
+        assert e2.cache.errors == 1
+        assert e2.cache.misses == 1
+        # The refill repaired the entry for the next reader.
+        e3 = _experiment(tmp_path)
+        assert e3.run(_config(), "dss") == first
+        assert e3.sim_runs == 0
+
+    def test_wrong_payload_type_is_a_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = ("k",)
+        path = cache.path_for(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        import pickle
+        with open(path, "wb") as fh:
+            pickle.dump({"not": "a MachineResult"}, fh)
+        assert cache.get(key) is None
+        assert cache.errors == 1
+
+    def test_salt_change_invalidates_stale_entries(self, tmp_path):
+        e1 = _experiment(tmp_path)
+        first = e1.run(_config(), "dss")
+        # A simulator change bumps the code-version salt: old entries are
+        # no longer addressable, so the point re-simulates and both
+        # versions coexist on disk.
+        e2 = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                        cache=ResultCache(str(tmp_path), salt="sim-v2"))
+        second = e2.run(_config(), "dss")
+        assert e2.sim_runs == 1
+        assert e2.cache.misses == 1
+        assert second == first  # same code, so same result — but re-proved
+        assert len(_cache_files(tmp_path)) == 2
+
+    def test_unwritable_cache_root_is_best_effort(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the cache dir should go")
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                         cache=ResultCache(str(blocked / "sub")))
+        result = exp.run(_config(), "dss")  # must not raise
+        assert result.ipc > 0
+        assert exp.cache.errors >= 1
+
+
+class TestConfigKey:
+    def test_equal_configs_produce_equal_keys(self):
+        assert config_key(_config()) == config_key(_config())
+        assert _config_key(_config()) == config_key(_config())
+
+    def test_unequal_scales_produce_distinct_keys(self):
+        assert (config_key(_config(scale=0.02))
+                != config_key(_config(scale=0.04)))
+
+    def test_distinct_hierarchies_produce_distinct_keys(self):
+        assert config_key(_config(1.0)) != config_key(_config(4.0))
+
+    def test_container_fields_normalize_to_hashable(self):
+        a, b = _config(), _config()
+        # HierarchyParams is mutable: an experiment could stash a list in
+        # a field.  The key must stay hashable and list/tuple-insensitive.
+        a.hierarchy.l2_banks = [4, 2]
+        b.hierarchy.l2_banks = (4, 2)
+        key = config_key(a)
+        hash(key)
+        assert key == config_key(b)
+
+    def test_unhashable_field_raises_clear_error(self):
+        config = _config()
+        config.hierarchy.l2_banks = bytearray(b"oops")
+        with pytest.raises(TypeError, match="unhashable field"):
+            config_key(config)
+
+    def test_key_is_usable_as_dict_key(self):
+        d = {config_key(_config()): 1}
+        assert d[config_key(_config())] == 1
