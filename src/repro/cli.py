@@ -11,9 +11,17 @@ Usage::
     python -m repro --jobs 4 fig6             # fan sweeps over 4 workers
     python -m repro --cache-dir .repro-cache all   # persistent results
 
-Parallelism and caching can also be driven from the environment:
-``REPRO_JOBS`` sets the default worker count, ``REPRO_CACHE_DIR`` the
-persistent result-cache root (see DESIGN.md §5).
+Resilience (see DESIGN.md §6)::
+
+    python -m repro --jobs 4 --timeout 600 --retries 3 all
+    python -m repro --jobs 4 --resume sweep.ckpt all   # resumable sweep
+    python -m repro --fail-fast fig6                   # abort on first loss
+
+Parallelism, caching, and resilience can also be driven from the
+environment: ``REPRO_JOBS`` sets the default worker count,
+``REPRO_CACHE_DIR`` the persistent result-cache root, and
+``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_FAIL_FAST`` /
+``REPRO_CHECKPOINT`` the sweep resilience knobs (see DESIGN.md §5-6).
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import sys
 import time
 
 from .core import figures
-from .core.experiment import Experiment
+from .core.experiment import Experiment, SweepError
 from .workloads.driver import workload_for
 from .workloads.profile import format_profile, profile_workload
 
@@ -47,6 +55,13 @@ def _banner(title: str) -> str:
     return f"{line}\n{title}\n{line}"
 
 
+def _print_cache_stats(exp: Experiment) -> None:
+    """Surface disk-cache accounting after a run (no cache: silent)."""
+    stats = exp.cache_stats()
+    if stats is not None:
+        print("cache: " + " ".join(f"{k}={v}" for k, v in stats.items()))
+
+
 def run_figures(names: list[str], scale: float | None,
                 cache_dir: str | None = None,
                 use_cache: bool = True) -> int:
@@ -55,11 +70,24 @@ def run_figures(names: list[str], scale: float | None,
     for name in names:
         fn, needs_exp = FIGURES[name]
         start = time.time()
-        text = fn(exp) if needs_exp else fn()
+        try:
+            text = fn(exp) if needs_exp else fn()
+        except SweepError as err:
+            print(f"{name}: sweep failed — {err}", file=sys.stderr)
+            for failure in err.failures:
+                print(f"  spec {failure.index} [{failure.kind}] after "
+                      f"{failure.attempts} attempt(s): {failure.message}",
+                      file=sys.stderr)
+            print("completed results were cached/checkpointed; rerun "
+                  "(optionally with --retries/--timeout/--resume) to "
+                  "simulate only the remainder", file=sys.stderr)
+            _print_cache_stats(exp)
+            return 1
         print(_banner(f"{name}  (scale {exp.scale:g}, "
                       f"{time.time() - start:.1f}s)"))
         print(text)
         print()
+    _print_cache_stats(exp)
     return 0
 
 
@@ -89,6 +117,22 @@ def main(argv: list[str] | None = None) -> int:
                              "REPRO_CACHE_DIR, or no disk cache)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the persistent result cache")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-spec wall-clock limit in seconds; a "
+                             "stuck simulation is killed and retried "
+                             "(default: REPRO_TIMEOUT, or no limit)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="failed attempts each sweep point may retry "
+                             "(default: REPRO_RETRIES or 2)")
+    parser.add_argument("--resume", metavar="CHECKPOINT", default=None,
+                        help="sweep checkpoint journal: completed points "
+                             "are recalled from it and new ones appended, "
+                             "so an interrupted run resumes where it "
+                             "stopped (default: REPRO_CHECKPOINT)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort a sweep on the first point that "
+                             "exhausts its retries (default: finish the "
+                             "rest of the grid, then report)")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', or "
                              "'profile <oltp|dss>'")
@@ -101,6 +145,22 @@ def main(argv: list[str] | None = None) -> int:
         # The sweep layer reads REPRO_JOBS as its default, so one knob
         # reaches every batch submission without threading it through.
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    # Same pattern for the resilience knobs: every figure, sweep, and
+    # benchmark batch reads these as its defaults.
+    if args.timeout is not None:
+        if args.timeout <= 0:
+            print("--timeout must be > 0 seconds", file=sys.stderr)
+            return 2
+        os.environ["REPRO_TIMEOUT"] = str(args.timeout)
+    if args.retries is not None:
+        if args.retries < 0:
+            print("--retries must be >= 0", file=sys.stderr)
+            return 2
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    if args.resume is not None:
+        os.environ["REPRO_CHECKPOINT"] = args.resume
+    if args.fail_fast:
+        os.environ["REPRO_FAIL_FAST"] = "1"
 
     targets = list(args.targets) or ["list"]
     if targets[0] == "list":

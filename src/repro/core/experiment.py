@@ -35,6 +35,8 @@ from .parallel import (
     WARM_FRACTIONS,
     ResultCache,
     RunSpec,
+    SweepCheckpoint,
+    SweepError,
     config_key,
     execute,
     run_specs,
@@ -45,6 +47,8 @@ __all__ = [
     "WARM_FRACTIONS",
     "Experiment",
     "RunSpec",
+    "SweepCheckpoint",
+    "SweepError",
     "shared_experiment",
 ]
 
@@ -77,9 +81,10 @@ class Experiment:
         cache: An explicit :class:`ResultCache` (overrides ``cache_dir``).
 
     Attributes:
-        sim_runs: Number of actual simulations this experiment triggered
-            (memo and disk-cache hits do not count) — the counter the
-            determinism/cache tests assert on.
+        sim_runs: Number of specs this experiment resolved through the
+            sweep layer (memo and disk-cache hits do not count; sweep-
+            checkpoint recalls do) — the counter the determinism/cache
+            tests assert on.
     """
 
     def __init__(self, scale: float | None = None,
@@ -125,10 +130,15 @@ class Experiment:
                 return stored
         return None
 
-    def _store(self, key: tuple, result: MachineResult) -> None:
+    def _store(self, key: tuple, result: MachineResult,
+               index: int | None = None) -> None:
         self._results[key] = result
         if self.cache is not None:
-            self.cache.put(key, result)
+            self.cache.put(key, result, index=index)
+
+    def cache_stats(self) -> dict | None:
+        """Disk-cache accounting (hits/misses/stores/errors), or None."""
+        return None if self.cache is None else self.cache.stats()
 
     def run(self, config: MachineConfig, kind: str,
             regime: str = "saturated", n_clients: int | None = None,
@@ -148,7 +158,12 @@ class Experiment:
         self._store(key, result)
         return result
 
-    def run_many(self, specs, jobs: int | None = None) -> list[MachineResult]:
+    def run_many(self, specs, jobs: int | None = None, *,
+                 timeout: float | None = None,
+                 retries: int | None = None,
+                 backoff: float | None = None,
+                 fail_fast: bool | None = None,
+                 checkpoint=None) -> list[MachineResult]:
         """Run (or recall) a batch of measurements, fanned across workers.
 
         Args:
@@ -156,11 +171,21 @@ class Experiment:
                 arguments, ``(config, kind, ...)``).
             jobs: Worker processes for the uncached remainder; None reads
                 ``REPRO_JOBS`` (default 1 = serial in-process).
+            timeout/retries/backoff/fail_fast/checkpoint: Resilience knobs
+                forwarded to :func:`repro.core.parallel.run_specs`; None
+                reads the matching ``REPRO_*`` environment default.
 
         Returns:
             Results in spec order, field-for-field identical to what
             :meth:`run` would produce serially (the pool workers execute
-            the same deterministic simulation path).
+            the same deterministic simulation path, and retried or
+            fault-recovered attempts re-run it unchanged).
+
+        Raises:
+            SweepError: When a spec exhausts its retry budget.  Results
+                completed before the failure are still memoized, cached,
+                and checkpointed, so a fixed-up rerun only simulates the
+                remainder.
         """
         specs = [_as_spec(s) for s in specs]
         keys = [s.key(self.scale, self.measure_cycles) for s in specs]
@@ -174,11 +199,24 @@ class Experiment:
                 seen[key] = i
                 todo.append(i)
         if todo:
-            fresh = run_specs([specs[i] for i in todo], self.scale,
-                              self.measure_cycles, jobs=jobs)
+            try:
+                fresh = run_specs([specs[i] for i in todo], self.scale,
+                                  self.measure_cycles, jobs=jobs,
+                                  timeout=timeout, retries=retries,
+                                  backoff=backoff, fail_fast=fail_fast,
+                                  checkpoint=checkpoint)
+            except SweepError as err:
+                # Salvage everything that completed: memo + disk cache
+                # (the sweep checkpoint, when set, already has them).
+                for pos, i in enumerate(todo):
+                    result = err.results[pos]
+                    if result is not None:
+                        self.sim_runs += 1
+                        self._store(keys[i], result, index=pos)
+                raise
             self.sim_runs += len(fresh)
-            for i, result in zip(todo, fresh):
-                self._store(keys[i], result)
+            for pos, (i, result) in enumerate(zip(todo, fresh)):
+                self._store(keys[i], result, index=pos)
                 results[i] = result
             # Duplicate specs within the batch resolve off the memo.
             for i, (key, res) in enumerate(zip(keys, results)):
@@ -186,19 +224,22 @@ class Experiment:
                     results[i] = self._results[key]
         return results  # type: ignore[return-value]
 
-    def prefetch(self, specs, jobs: int | None = None) -> dict:
+    def prefetch(self, specs, jobs: int | None = None, **resilience) -> dict:
         """Warm the memo/disk caches for ``specs``; return accounting.
 
         Figures and benchmark drivers call this with their whole grid up
         front, then keep their readable serial loops — every subsequent
-        :meth:`run` is a memo hit.
+        :meth:`run` is a memo hit.  ``resilience`` kwargs (timeout,
+        retries, backoff, fail_fast, checkpoint) forward to
+        :meth:`run_many`.
         """
         specs = list(specs)
         before = self.sim_runs
-        self.run_many(specs, jobs=jobs)
+        self.run_many(specs, jobs=jobs, **resilience)
         return {
             "specs": len(specs),
             "simulated": self.sim_runs - before,
+            "cache": self.cache_stats(),
         }
 
     def run_cell(self, cell: Cell, config_for_camp) -> MachineResult:

@@ -1,0 +1,221 @@
+"""Deterministic fault injection for the resilient sweep executor.
+
+The recovery machinery in :mod:`repro.core.parallel` (retries, timeouts,
+crash isolation, checkpoint resume, corrupt-cache fallback) is only
+trustworthy if its failure paths are exercised on purpose.  This module is
+a seeded, environment-driven chaos harness: tests and the CI chaos job set
+``REPRO_FAULTS`` to a small fault plan and the executor's workers then
+crash, hang, raise, or corrupt cache entries at *chosen, reproducible*
+points.
+
+Grammar (directives separated by ``;``)::
+
+    REPRO_FAULTS="crash@1;exec@0x2;hang@2:30;corrupt@3;seed=7"
+
+    crash@I[xN]       worker process dies (os._exit) running batch index I
+    hang@I[xN][:S]    worker sleeps S seconds (default 3600) at index I
+    exec@I[xN]        transient InjectedFault raised executing index I
+    corrupt@I[xN]     the cache entry written for index I is garbage bytes
+    SITE~P[:S]        probabilistic form: fire with probability P at any
+                      index (deterministic per (seed, site, index, attempt))
+    seed=N            seed for the probabilistic form (default 0)
+
+``xN`` bounds how many *attempts* a fault fires on (default 1): ``exec@0``
+fails the first attempt at batch index 0 and lets the retry succeed, while
+``exec@0x99`` keeps failing until retries are exhausted.  Probability draws
+hash ``(seed, site, index, attempt)`` — no RNG state — so every process,
+worker, and rerun sees the same plan.
+
+Inertness contract: when ``REPRO_FAULTS`` is unset or empty every hook
+returns immediately without touching any interpreter state that could
+perturb a result (no RNG, no clocks); ``tests/test_faults.py`` locks this
+down.  Crash and hang faults only fire inside pool workers (firing them
+in-process would kill or stall the parent), so serial fallback paths see
+only ``exec`` and ``corrupt`` faults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "active_plan",
+    "corrupt_bytes",
+    "maybe_crash",
+    "maybe_hang",
+    "maybe_raise",
+]
+
+#: Exit status used by injected worker crashes (visible in pool logs).
+CRASH_EXIT_CODE = 13
+
+#: Default sleep for ``hang`` faults without an explicit duration: long
+#: enough that only a timeout (or the test harness) ends it.
+DEFAULT_HANG_SECONDS = 3600.0
+
+#: Marker payload written by ``corrupt`` faults — deliberately not a valid
+#: pickle, so readers take the corrupt-entry recovery path.
+CORRUPT_PAYLOAD = b"repro-fault-injector: corrupted cache entry\n"
+
+_SITES = ("crash", "hang", "exec", "corrupt")
+
+
+class InjectedFault(RuntimeError):
+    """A transient failure raised by the injector (site ``exec``)."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed directive.
+
+    Attributes:
+        site: One of ``crash``, ``hang``, ``exec``, ``corrupt``.
+        index: Batch index to target, or None for probabilistic rules.
+        prob: Fire probability for probabilistic rules, else None.
+        count: Fire on attempts ``0 .. count-1`` (indexed rules only).
+        arg: Site argument (hang duration in seconds).
+    """
+
+    site: str
+    index: int | None = None
+    prob: float | None = None
+    count: int = 1
+    arg: float | None = None
+
+
+def _parse_directive(text: str) -> FaultRule:
+    site, sep, rest = text.partition("@")
+    if sep:
+        prob = None
+    else:
+        site, sep, rest = text.partition("~")
+        if not sep:
+            raise ValueError(
+                f"bad REPRO_FAULTS directive {text!r}: expected "
+                "'site@index[xN][:arg]' or 'site~prob[:arg]'")
+        prob = -1.0  # placeholder; parsed below
+    if site not in _SITES:
+        raise ValueError(
+            f"bad REPRO_FAULTS site {site!r}: expected one of {_SITES}")
+    try:
+        arg = None
+        if ":" in rest:
+            rest, _, arg_text = rest.partition(":")
+            arg = float(arg_text)
+        if prob is None:
+            count = 1
+            if "x" in rest:
+                rest, _, count_text = rest.partition("x")
+                count = int(count_text)
+            return FaultRule(site, index=int(rest), count=count, arg=arg)
+        return FaultRule(site, prob=float(rest), arg=arg)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad REPRO_FAULTS directive {text!r}: {exc}") from None
+
+
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` value: rules plus the probability seed."""
+
+    def __init__(self, rules: list[FaultRule], seed: int = 0):
+        self.rules = list(rules)
+        self.seed = seed
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        rules: list[FaultRule] = []
+        seed = 0
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw.startswith("seed="):
+                seed = int(raw[len("seed="):])
+                continue
+            rules.append(_parse_directive(raw))
+        return cls(rules, seed=seed)
+
+    # -- firing decisions ---------------------------------------------- #
+
+    def _uniform(self, site: str, index: int, attempt: int) -> float:
+        """A deterministic draw in [0, 1): stateless, so identical across
+        processes, workers, and reruns."""
+        token = f"{self.seed}|{site}|{index}|{attempt}".encode()
+        digest = hashlib.sha256(token).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def rule_for(self, site: str, index: int | None,
+                 attempt: int = 0) -> FaultRule | None:
+        """The first rule that fires at ``(site, index, attempt)``."""
+        for rule in self.rules:
+            if rule.site != site:
+                continue
+            if rule.index is not None:
+                if index == rule.index and attempt < rule.count:
+                    return rule
+            elif rule.prob is not None:
+                draw = self._uniform(site, -1 if index is None else index,
+                                     attempt)
+                if draw < rule.prob:
+                    return rule
+        return None
+
+
+#: Per-process parse cache, keyed by the raw env value.
+_cached: tuple[str, FaultPlan] | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The plan from ``REPRO_FAULTS``, or None when faults are disabled."""
+    global _cached
+    text = os.environ.get("REPRO_FAULTS", "").strip()
+    if not text:
+        return None
+    if _cached is None or _cached[0] != text:
+        _cached = (text, FaultPlan.parse(text))
+    return _cached[1]
+
+
+# ---------------------------------------------------------------------- #
+# Injection hooks (all no-ops when REPRO_FAULTS is unset)                 #
+# ---------------------------------------------------------------------- #
+
+def maybe_crash(index: int, attempt: int = 0) -> None:
+    """Kill this process if a ``crash`` rule fires (pool workers only)."""
+    plan = active_plan()
+    if plan is not None and plan.rule_for("crash", index, attempt):
+        os._exit(CRASH_EXIT_CODE)
+
+
+def maybe_hang(index: int, attempt: int = 0) -> None:
+    """Sleep past any reasonable timeout if a ``hang`` rule fires."""
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = plan.rule_for("hang", index, attempt)
+    if rule is not None:
+        time.sleep(DEFAULT_HANG_SECONDS if rule.arg is None else rule.arg)
+
+
+def maybe_raise(index: int, attempt: int = 0) -> None:
+    """Raise :class:`InjectedFault` if an ``exec`` rule fires."""
+    plan = active_plan()
+    if plan is not None and plan.rule_for("exec", index, attempt):
+        raise InjectedFault(
+            f"injected transient failure (index {index}, attempt {attempt})")
+
+
+def corrupt_bytes(index: int | None, payload: bytes) -> bytes:
+    """The bytes a cache write should store: ``payload`` untouched, or a
+    non-pickle marker when a ``corrupt`` rule fires for ``index``."""
+    plan = active_plan()
+    if plan is not None and plan.rule_for("corrupt", index, 0):
+        return CORRUPT_PAYLOAD
+    return payload

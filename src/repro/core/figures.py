@@ -6,6 +6,14 @@ figure as plain text (tables, ASCII series, breakdown bars) including a
 ``paper vs measured`` claim table.  The pytest benchmarks in
 ``benchmarks/`` and the command-line runner (``python -m repro``) are thin
 wrappers over these functions.
+
+Every grid here flows through ``Experiment.prefetch``/``run_many`` and so
+inherits the resilient execution layer: the ``REPRO_TIMEOUT`` /
+``REPRO_RETRIES`` / ``REPRO_FAIL_FAST`` / ``REPRO_CHECKPOINT`` knobs (CLI:
+``--timeout/--retries/--fail-fast/--resume``) bound how long a figure may
+stall, retry transient worker failures, and resume an interrupted grid —
+without changing a single printed digit, since retried or fault-recovered
+points re-run the same deterministic simulation (DESIGN.md §6).
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Parallel sweep execution and the persistent result cache.
+"""Resilient parallel sweep execution and the persistent result cache.
 
 Sweep points, taxonomy cells, and ablation grids are embarrassingly
 parallel: each is one deterministic ``Machine.run`` over a workload bundle
@@ -13,19 +13,34 @@ the scaling substrate the rest of the study runs on:
   locks this down).
 - :func:`run_specs` — fan a batch of specs across a process pool
   (``jobs`` workers, defaulting to the ``REPRO_JOBS`` environment knob)
-  with a graceful single-process fallback when the pool is unavailable or
-  pointless (one spec, one job).
+  with per-spec timeouts, bounded retries with exponential backoff,
+  worker-crash isolation, structured :class:`SpecFailure` records, and an
+  optional :class:`SweepCheckpoint` journal so an interrupted sweep
+  resumes without re-simulating finished specs.  A graceful
+  single-process fallback covers platforms without multiprocessing.
 - :class:`ResultCache` — a content-addressed on-disk cache keyed by the
   normalized machine-config identity, the workload coordinates, and a
   code-version salt, so repeated benchmark runs recall results instead of
   re-simulating.  Corrupt or stale entries fall back to simulation.
 
+Failure semantics (see DESIGN.md §6): a worker exception or injected
+fault costs one *attempt*; a spec retries up to ``retries`` times with
+exponential backoff before it becomes a :class:`SpecFailure`.  A worker
+crash breaks the pool; completed results are kept, only the specs that
+were in flight are charged an attempt and re-run on a fresh pool.  A spec
+that exceeds ``timeout`` seconds is charged a timeout attempt and its
+stuck worker is killed with the pool (collateral in-flight specs re-run
+free of charge).  When any spec exhausts its retries the sweep raises
+:class:`SweepError` carrying the failures and every completed result —
+after finishing the rest of the grid unless ``fail_fast`` is set.
+
 Determinism contract: the simulator is a pure function of its inputs (all
 randomness is seeded per workload builder; the event loop breaks time ties
-with a deterministic sequence number), so fanning specs out over processes
-cannot change any result field.  Anything that would break this — wall
-clocks, unordered iteration, shared mutable state across specs — must not
-enter :func:`execute`.
+with a deterministic sequence number), so fanning specs out over
+processes — or re-running them after crashes, hangs, or injected faults
+(:mod:`repro.core.faults`) — cannot change any result field.  Anything
+that would break this — wall clocks, unordered iteration, shared mutable
+state across specs — must not enter :func:`execute`.
 """
 
 from __future__ import annotations
@@ -34,7 +49,11 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
+import warnings
+from collections import deque
 from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 
 from ..simulator.machine import (
@@ -44,6 +63,7 @@ from ..simulator.machine import (
     MachineResult,
 )
 from ..workloads.driver import workload_for
+from . import faults
 
 #: Cache salt: bump whenever a change alters simulation results so stale
 #: on-disk entries are invalidated instead of silently recalled.
@@ -53,6 +73,17 @@ CODE_VERSION = "repro-sim-v1"
 #: (DESIGN.md §1: OLTP's cold row stream must stay cold, DSS's query
 #: windows revisit data across rounds).
 WARM_FRACTIONS = {"oltp": 0.15, "dss": 0.5}
+
+#: Workload regimes a :class:`RunSpec` may name (Fig. 2's two operating
+#: points: throughput-bound vs. response-time-bound).
+REGIMES = ("saturated", "unsaturated")
+
+#: Default bounded-retry budget per spec (override: ``REPRO_RETRIES``).
+DEFAULT_RETRIES = 2
+
+#: Default base backoff in seconds; attempt ``n`` sleeps
+#: ``backoff * 2**(n-1)`` before re-running (override: ``REPRO_BACKOFF``).
+DEFAULT_BACKOFF = 0.1
 
 
 # ---------------------------------------------------------------------- #
@@ -103,6 +134,10 @@ def config_key(config: MachineConfig) -> tuple:
 class RunSpec:
     """One measurement: a machine configuration at workload coordinates.
 
+    Workload coordinates are validated eagerly: a typo'd kind or regime
+    raises ``ValueError`` at construction, not a ``KeyError`` from deep
+    inside a pool worker minutes into a sweep.
+
     Attributes:
         config: The machine to simulate.
         kind: ``"oltp"`` or ``"dss"``.
@@ -117,6 +152,16 @@ class RunSpec:
     regime: str = "saturated"
     n_clients: int | None = None
     measure_cycles: float | None = None
+
+    def __post_init__(self):
+        if self.kind not in WARM_FRACTIONS:
+            raise ValueError(
+                f"unknown workload kind {self.kind!r}: expected one of "
+                f"{sorted(WARM_FRACTIONS)}")
+        if self.regime not in REGIMES:
+            raise ValueError(
+                f"unknown regime {self.regime!r}: expected one of "
+                f"{list(REGIMES)}")
 
     @property
     def mode(self) -> str:
@@ -154,20 +199,390 @@ def execute(spec: RunSpec, scale: float,
 
 
 # ---------------------------------------------------------------------- #
+# Resilience knobs (environment defaults)                                 #
+# ---------------------------------------------------------------------- #
+
+_warned_bad_jobs = False
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment knob (default 1).
+
+    An unparsable or non-positive value falls back to 1 with a one-time
+    ``RuntimeWarning`` instead of a silent downgrade.
+    """
+    global _warned_bad_jobs
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        jobs = None
+    if jobs is None or jobs < 1:
+        if not _warned_bad_jobs:
+            warnings.warn(
+                f"ignoring invalid REPRO_JOBS={raw!r} (expected a positive "
+                "integer); running with 1 worker",
+                RuntimeWarning, stacklevel=2)
+            _warned_bad_jobs = True
+        return 1
+    return jobs
+
+
+def default_retries() -> int:
+    """Retry budget from ``REPRO_RETRIES`` (default 2, floored at 0)."""
+    try:
+        return max(0, int(os.environ.get("REPRO_RETRIES",
+                                         str(DEFAULT_RETRIES))))
+    except ValueError:
+        return DEFAULT_RETRIES
+
+
+def default_timeout() -> float | None:
+    """Per-spec timeout in seconds from ``REPRO_TIMEOUT`` (default None:
+    specs may run forever)."""
+    raw = os.environ.get("REPRO_TIMEOUT", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def default_backoff() -> float:
+    """Base retry backoff in seconds from ``REPRO_BACKOFF``."""
+    raw = os.environ.get("REPRO_BACKOFF", "").strip()
+    if not raw:
+        return DEFAULT_BACKOFF
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return DEFAULT_BACKOFF
+
+
+def default_fail_fast() -> bool:
+    """Whether sweeps abort on the first exhausted spec (``REPRO_FAIL_FAST``)."""
+    return (os.environ.get("REPRO_FAIL_FAST", "").strip().lower()
+            in ("1", "true", "yes", "on"))
+
+
+# ---------------------------------------------------------------------- #
+# Failure records and the sweep checkpoint                                #
+# ---------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec that exhausted its retry budget.
+
+    Attributes:
+        index: Position in the submitted batch.
+        spec: The failed measurement.
+        kind: ``"timeout"``, ``"crash"``, or ``"error"``.
+        attempts: Attempts consumed (including the final failure).
+        message: The last error observed.
+    """
+
+    index: int
+    spec: RunSpec
+    kind: str
+    attempts: int
+    message: str
+
+
+class SweepError(RuntimeError):
+    """A sweep finished (or aborted) with failed specs.
+
+    Attributes:
+        failures: The :class:`SpecFailure` records, in batch order.
+        results: Per-spec results in batch order; ``None`` for specs that
+            failed or were never attempted (``fail_fast`` aborts).
+    """
+
+    def __init__(self, failures: list[SpecFailure],
+                 results: list[MachineResult | None]):
+        self.failures = list(failures)
+        self.results = list(results)
+        done = sum(1 for r in results if r is not None)
+        detail = "; ".join(
+            f"spec {f.index} [{f.kind}] after {f.attempts} attempt(s): "
+            f"{f.message}" for f in self.failures[:3])
+        more = ("" if len(self.failures) <= 3
+                else f" (+{len(self.failures) - 3} more)")
+        super().__init__(
+            f"{len(self.failures)} of {len(results)} specs failed "
+            f"({done} completed): {detail}{more}")
+
+
+class SweepCheckpoint:
+    """An append-only journal of completed sweep measurements.
+
+    Each record is one pickled ``(digest, MachineResult)`` pair, where the
+    digest hashes the spec's full measurement key plus the code-version
+    salt — so a checkpoint is content-addressed like the result cache: a
+    resumed sweep recalls exactly the specs whose identity matches, and a
+    checkpoint from a different grid, scale, or simulator version simply
+    produces no matches.  A sweep killed mid-append leaves a truncated
+    tail, which :meth:`load` tolerates by keeping every complete record
+    before it.  Writes are best-effort: an unwritable journal costs
+    resumability, never correctness.  Single sweep writer per file (the
+    scheduling loop appends; workers never touch it).
+
+    Attributes:
+        loaded: Records recovered by the last :meth:`load`.
+        recorded: Records appended through this instance.
+    """
+
+    def __init__(self, path: str, salt: str = CODE_VERSION):
+        self.path = str(path)
+        self.salt = salt
+        self.loaded = 0
+        self.recorded = 0
+
+    @classmethod
+    def from_env(cls) -> "SweepCheckpoint | None":
+        """A checkpoint at ``REPRO_CHECKPOINT``, or None when unset."""
+        path = os.environ.get("REPRO_CHECKPOINT", "").strip()
+        return cls(path) if path else None
+
+    def digest(self, key: tuple) -> str:
+        return hashlib.sha256(
+            repr((self.salt, key)).encode("utf-8")).hexdigest()
+
+    def load(self) -> dict[str, MachineResult]:
+        """Every complete record in the journal (empty when absent)."""
+        records: dict[str, MachineResult] = {}
+        try:
+            fh = open(self.path, "rb")
+        except OSError:
+            return records
+        with fh:
+            while True:
+                try:
+                    entry = pickle.load(fh)
+                except EOFError:
+                    break
+                except Exception:
+                    # Truncated tail from a killed sweep (or garbage):
+                    # keep everything before it.
+                    break
+                if (isinstance(entry, tuple) and len(entry) == 2
+                        and isinstance(entry[0], str)
+                        and isinstance(entry[1], MachineResult)):
+                    records[entry[0]] = entry[1]
+                else:
+                    break
+        self.loaded = len(records)
+        return records
+
+    def record(self, key: tuple, result: MachineResult) -> None:
+        """Append one completed measurement (flushed immediately)."""
+        try:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            with open(self.path, "ab") as fh:
+                pickle.dump((self.digest(key), result), fh,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+            self.recorded += 1
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------- #
 # Process-pool fan-out                                                    #
 # ---------------------------------------------------------------------- #
 
-def default_jobs() -> int:
-    """Worker count from the ``REPRO_JOBS`` environment knob (default 1)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
-    except ValueError:
-        return 1
+class _PoolUnavailable(Exception):
+    """Multiprocessing cannot start here; use the serial fallback."""
 
 
-def _pool_worker(payload: tuple[RunSpec, float, float]) -> MachineResult:
-    spec, scale, default_cycles = payload
+def _guarded_execute(spec: RunSpec, scale: float, default_cycles: float,
+                     index: int, attempt: int) -> MachineResult:
+    """The sweep-layer execution path: fault hooks, then :func:`execute`."""
+    faults.maybe_raise(index, attempt)
     return execute(spec, scale, default_cycles)
+
+
+def _pool_worker(payload: tuple) -> MachineResult:
+    spec, scale, default_cycles, index, attempt = payload
+    # Crash/hang faults fire only here: in-process they would kill or
+    # stall the parent instead of exercising recovery.
+    faults.maybe_crash(index, attempt)
+    faults.maybe_hang(index, attempt)
+    return _guarded_execute(spec, scale, default_cycles, index, attempt)
+
+
+def _terminate_pool(pool) -> None:
+    """Tear a pool down without waiting on its workers.
+
+    ``shutdown(cancel_futures=True)`` alone never reaps a hung or
+    crash-looping worker, so the worker processes are terminated directly
+    (touching the executor's ``_processes`` map is the only way short of
+    re-implementing the pool).
+    """
+    try:
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+    except Exception:
+        procs = []
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(1.0)
+        except Exception:
+            pass
+
+
+def _run_serial(specs, scale, default_cycles, indices, retries, backoff,
+                fail_fast, attempts, failures, finish) -> None:
+    """Retrying in-process executor (no timeouts: nothing can preempt a
+    hung spec without a worker process to kill)."""
+    for i in indices:
+        while True:
+            attempt = attempts[i]
+            try:
+                result = _guarded_execute(specs[i], scale, default_cycles,
+                                          i, attempt)
+            except Exception as exc:
+                attempts[i] += 1
+                if attempts[i] > retries:
+                    failures[i] = SpecFailure(
+                        i, specs[i], "error", attempts[i],
+                        f"{type(exc).__name__}: {exc}")
+                    break
+                time.sleep(backoff * (2 ** attempt))
+            else:
+                finish(i, result)
+                break
+        if i in failures and fail_fast:
+            return
+
+
+def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
+              backoff, fail_fast, attempts, failures, finish) -> None:
+    """Fan ``pending`` spec indices across a process pool, resiliently.
+
+    Specs are submitted one future at a time into a window of at most
+    ``jobs`` in-flight futures, so a submitted spec starts (nearly)
+    immediately and its timeout clock measures actual runtime.  Raises
+    :class:`_PoolUnavailable` if a pool cannot be created at all.
+    """
+    max_workers = min(jobs, len(pending))
+
+    def new_pool():
+        try:
+            return futures.ProcessPoolExecutor(max_workers=max_workers)
+        except (OSError, ValueError) as exc:
+            raise _PoolUnavailable from exc
+
+    aborted = False
+
+    def attempt_failed(index: int, kind: str, message: str) -> None:
+        """Charge one attempt; requeue the spec or register its failure."""
+        nonlocal aborted
+        attempts[index] += 1
+        if attempts[index] > retries:
+            failures[index] = SpecFailure(index, specs[index], kind,
+                                          attempts[index], message)
+            if fail_fast:
+                aborted = True
+        else:
+            delay = backoff * (2 ** (attempts[index] - 1))
+            if delay > 0:
+                time.sleep(delay)
+            queue.append(index)
+
+    def collect(fut, index: int) -> bool:
+        """Absorb one completed future; True if the pool broke."""
+        try:
+            result = fut.result()
+        except BrokenProcessPool as exc:
+            # The worker running (or about to run) this spec died.  Every
+            # in-flight future fails this way at once — the guilty spec
+            # cannot be singled out, so each lost spec is charged one
+            # attempt and re-run on a fresh pool.
+            attempt_failed(index, "crash",
+                           str(exc) or "worker process died abruptly")
+            return True
+        except futures.CancelledError:
+            # Collateral of a pool teardown — not this spec's fault.
+            queue.append(index)
+            return False
+        except Exception as exc:
+            attempt_failed(index, "error", f"{type(exc).__name__}: {exc}")
+            return False
+        finish(index, result)
+        return False
+
+    pool = new_pool()
+    queue: deque[int] = deque(pending)
+    inflight: dict = {}  # future -> (spec index, submitted_at)
+    rebuild = False
+    try:
+        while (queue or inflight) and not aborted:
+            if rebuild:
+                # Keep results that made it back before the teardown;
+                # everything else re-runs without being charged.
+                for fut in [f for f in inflight if f.done()]:
+                    collect(fut, inflight.pop(fut)[0])
+                for fut in list(inflight):
+                    queue.append(inflight.pop(fut)[0])
+                _terminate_pool(pool)
+                pool = new_pool()
+                rebuild = False
+                continue
+            while queue and len(inflight) < max_workers:
+                index = queue.popleft()
+                payload = (specs[index], scale, default_cycles, index,
+                           attempts[index])
+                try:
+                    fut = pool.submit(_pool_worker, payload)
+                except BrokenProcessPool:
+                    queue.appendleft(index)
+                    rebuild = True
+                    break
+                except RuntimeError as exc:
+                    raise _PoolUnavailable from exc
+                inflight[fut] = (index, time.monotonic())
+            if rebuild or not inflight:
+                continue
+            if timeout is None:
+                wait_for = None
+            else:
+                now = time.monotonic()
+                wait_for = max(0.05, min(t0 + timeout - now
+                                         for _, t0 in inflight.values()))
+            done, _ = futures.wait(set(inflight), timeout=wait_for,
+                                   return_when=futures.FIRST_COMPLETED)
+            for fut in done:
+                if collect(fut, inflight.pop(fut)[0]):
+                    rebuild = True
+            if rebuild or aborted:
+                continue
+            if timeout is not None:
+                now = time.monotonic()
+                hung = [fut for fut, (_, t0) in inflight.items()
+                        if now - t0 >= timeout]
+                if hung:
+                    # A stuck worker cannot be preempted individually:
+                    # charge the hung specs a timeout attempt and rebuild.
+                    for fut in hung:
+                        index, _ = inflight.pop(fut)
+                        attempt_failed(index, "timeout",
+                                       f"no result within {timeout:g}s")
+                    rebuild = True
+    finally:
+        _terminate_pool(pool)
 
 
 def run_specs(
@@ -175,26 +590,104 @@ def run_specs(
     scale: float,
     default_cycles: float = DEFAULT_MEASURE_CYCLES,
     jobs: int | None = None,
+    *,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    fail_fast: bool | None = None,
+    checkpoint: "SweepCheckpoint | str | None" = None,
 ) -> list[MachineResult]:
     """Simulate ``specs`` (in order) across up to ``jobs`` processes.
+
+    Args:
+        specs: The batch to run; results come back in the same order.
+        scale: Study scale factor.
+        default_cycles: Measurement window for specs without an override.
+        jobs: Worker processes; None reads ``REPRO_JOBS`` (default 1).
+        timeout: Per-spec wall-clock limit in seconds; an over-limit spec
+            is charged a timeout attempt and its worker is killed.  None
+            reads ``REPRO_TIMEOUT`` (default: no limit).  Enforced only on
+            the pool path — the serial fallback has no worker to kill.
+        retries: Failed attempts each spec may retry (None:
+            ``REPRO_RETRIES``, default 2).
+        backoff: Base backoff seconds; attempt ``n`` sleeps
+            ``backoff * 2**(n-1)`` (None: ``REPRO_BACKOFF``, default 0.1).
+        fail_fast: Abort the sweep on the first exhausted spec instead of
+            finishing the rest (None: ``REPRO_FAIL_FAST``, default off).
+        checkpoint: A :class:`SweepCheckpoint` (or journal path) recording
+            completed specs; matching records are recalled instead of
+            re-simulated, and every fresh result is appended.  None reads
+            ``REPRO_CHECKPOINT`` (default: no journal).
+
+    Returns:
+        One :class:`MachineResult` per spec, bit-for-bit identical to a
+        fault-free serial run regardless of retries, crashes, or resume.
+
+    Raises:
+        SweepError: When any spec exhausts its retries; carries the
+            failure records and all completed results.
 
     Falls back to in-process serial execution when ``jobs <= 1``, when
     there is nothing to parallelize, or when the platform cannot start a
     process pool (restricted environments); the fallback runs the exact
-    same :func:`execute` path, so only wall-clock time changes.
+    same execution path (including retries), so only wall-clock time and
+    timeout enforcement change.
     """
+    specs = list(specs)
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    if jobs <= 1 or len(specs) <= 1:
-        return [execute(s, scale, default_cycles) for s in specs]
-    payloads = [(s, scale, default_cycles) for s in specs]
-    try:
-        with futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(specs))) as pool:
-            return list(pool.map(_pool_worker, payloads))
-    except (OSError, ValueError, futures.process.BrokenProcessPool):
-        # No usable multiprocessing (sandboxed /dev/shm, fork limits...):
-        # degrade to the serial path rather than failing the experiment.
-        return [execute(s, scale, default_cycles) for s in specs]
+    retries = default_retries() if retries is None else max(0, int(retries))
+    if timeout is None:
+        timeout = default_timeout()
+    elif timeout <= 0:
+        timeout = None
+    backoff = default_backoff() if backoff is None else max(0.0, float(backoff))
+    fail_fast = default_fail_fast() if fail_fast is None else bool(fail_fast)
+    if checkpoint is None:
+        checkpoint = SweepCheckpoint.from_env()
+    elif isinstance(checkpoint, (str, os.PathLike)):
+        checkpoint = SweepCheckpoint(str(checkpoint))
+
+    results: list[MachineResult | None] = [None] * len(specs)
+    keys = [s.key(scale, default_cycles) for s in specs]
+    if checkpoint is not None:
+        recorded = checkpoint.load()
+        for i, key in enumerate(keys):
+            prior = recorded.get(checkpoint.digest(key))
+            if prior is not None:
+                results[i] = prior
+    pending = [i for i, r in enumerate(results) if r is None]
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    failures: dict[int, SpecFailure] = {}
+    attempts = {i: 0 for i in pending}
+
+    def finish(i: int, result: MachineResult) -> None:
+        results[i] = result
+        if checkpoint is not None:
+            checkpoint.record(keys[i], result)
+
+    if jobs > 1 and len(pending) > 1:
+        try:
+            _run_pool(specs, scale, default_cycles, pending, jobs, timeout,
+                      retries, backoff, fail_fast, attempts, failures, finish)
+        except _PoolUnavailable:
+            # No usable multiprocessing (sandboxed /dev/shm, fork
+            # limits...): degrade to the serial path, retries intact.
+            # Specs already finished (or failed) before the pool vanished
+            # keep their outcome; only the remainder runs serially.
+            remaining = [i for i in pending
+                         if results[i] is None and i not in failures]
+            _run_serial(specs, scale, default_cycles, remaining, retries,
+                        backoff, fail_fast, attempts, failures, finish)
+    else:
+        _run_serial(specs, scale, default_cycles, pending, retries, backoff,
+                    fail_fast, attempts, failures, finish)
+
+    if failures:
+        raise SweepError(sorted(failures.values(), key=lambda f: f.index),
+                         results)
+    return results  # type: ignore[return-value]
 
 
 # ---------------------------------------------------------------------- #
@@ -212,11 +705,15 @@ class ResultCache:
 
     The cache is tolerant by construction: unreadable, corrupt, or
     wrong-type entries count as misses (and are recorded in ``errors``),
-    never exceptions — a damaged cache can only cost re-simulation.
+    and no store failure — disk, permissions, or pickling — ever
+    propagates; a damaged cache can only cost re-simulation.  Concurrent
+    writers are safe: each store lands via an atomic rename of a private
+    temp file, so two processes racing on one key just write the same
+    bytes twice.
 
     Attributes:
         hits/misses/stores/errors: Lifetime accounting for tests and
-            reporting.
+            reporting (see :meth:`stats`).
     """
 
     def __init__(self, root: str, salt: str = CODE_VERSION):
@@ -264,24 +761,41 @@ class ResultCache:
         self.hits += 1
         return result
 
-    def put(self, key: tuple, result: MachineResult) -> None:
-        """Store ``result`` atomically (rename over a temp file)."""
+    def put(self, key: tuple, result: MachineResult,
+            index: int | None = None) -> None:
+        """Store ``result`` atomically (rename over a temp file).
+
+        Strictly best-effort: any failure — unwritable volume, full disk,
+        or an unpicklable payload — increments ``errors`` and returns.
+        ``index`` is the spec's batch position, used only by the fault
+        injector's cache-corruption site.
+        """
+        try:
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.errors += 1
+            return
+        payload = faults.corrupt_bytes(index, payload)
         path = self.path_for(key)
+        tmp = None
         try:
             os.makedirs(os.path.dirname(path), exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                        suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp, path)
-            except BaseException:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except Exception:
+            if tmp is not None:
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
-                raise
-            self.stores += 1
-        except OSError:
-            # Read-only/full cache volume: caching is best-effort.
             self.errors += 1
+            return
+        self.stores += 1
+
+    def stats(self) -> dict:
+        """Lifetime accounting: hits, misses, stores, errors."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "errors": self.errors}

@@ -7,6 +7,14 @@ Sweeps are batch-submitted through :meth:`Experiment.run_many`, so with
 ``REPRO_JOBS > 1`` (or an explicit ``jobs`` argument) the points simulate
 concurrently across a process pool; results are identical to the serial
 path either way (see ``tests/test_parallel_determinism.py``).
+
+Each sweep forwards the resilience knobs of the execution layer —
+per-spec ``timeout``, bounded ``retries``, ``fail_fast``, and a
+``checkpoint`` journal for resumable sweeps — to
+:func:`repro.core.parallel.run_specs`; left at None they read the
+``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_FAIL_FAST`` /
+``REPRO_CHECKPOINT`` environment defaults, so one CLI flag reaches every
+grid (see DESIGN.md §6).
 """
 
 from __future__ import annotations
@@ -35,6 +43,10 @@ def cache_size_sweep(
     const_latency: int | None = None,
     n_cores: int = 4,
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool | None = None,
+    checkpoint=None,
 ) -> list[SweepPoint]:
     """Fig. 6 sweep: saturated throughput vs. shared-L2 size on the FC CMP.
 
@@ -57,7 +69,9 @@ def cache_size_sweep(
         for size in sizes_mb
     ]
     results = exp.run_many(
-        [RunSpec(config, kind) for config in configs], jobs=jobs)
+        [RunSpec(config, kind) for config in configs], jobs=jobs,
+        timeout=timeout, retries=retries, fail_fast=fail_fast,
+        checkpoint=checkpoint)
     return [SweepPoint(x=size, result=result)
             for size, result in zip(sizes_mb, results)]
 
@@ -68,6 +82,10 @@ def core_count_sweep(
     core_counts: tuple[int, ...] = (4, 8, 12, 16),
     l2_nominal_mb: float = 16.0,
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool | None = None,
+    checkpoint=None,
 ) -> list[SweepPoint]:
     """Fig. 8 sweep: saturated throughput vs. core count at a fixed 16 MB
     shared L2 on the FC CMP."""
@@ -76,7 +94,9 @@ def core_count_sweep(
         for n in core_counts
     ]
     results = exp.run_many(
-        [RunSpec(config, kind) for config in configs], jobs=jobs)
+        [RunSpec(config, kind) for config in configs], jobs=jobs,
+        timeout=timeout, retries=retries, fail_fast=fail_fast,
+        checkpoint=checkpoint)
     return [SweepPoint(x=float(n), result=result)
             for n, result in zip(core_counts, results)]
 
@@ -87,6 +107,10 @@ def client_count_sweep(
     client_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128),
     l2_nominal_mb: float = 26.0,
     jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool | None = None,
+    checkpoint=None,
 ) -> list[SweepPoint]:
     """Fig. 2 sweep: throughput vs. concurrent clients on the FC CMP.
 
@@ -97,7 +121,8 @@ def client_count_sweep(
     results = exp.run_many(
         [RunSpec(config, kind, "saturated", n_clients=n)
          for n in client_counts],
-        jobs=jobs,
+        jobs=jobs, timeout=timeout, retries=retries, fail_fast=fail_fast,
+        checkpoint=checkpoint,
     )
     return [SweepPoint(x=float(n), result=result)
             for n, result in zip(client_counts, results)]

@@ -1,8 +1,14 @@
 """Tests for the command-line figure runner."""
 
+import os
+
 import pytest
 
 from repro.cli import FIGURES, main
+
+#: Environment knobs the resilience flags write through.
+RESILIENCE_VARS = ("REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_CHECKPOINT",
+                   "REPRO_FAIL_FAST")
 
 
 class TestCli:
@@ -43,3 +49,34 @@ class TestCli:
         out = capsys.readouterr().out
         assert "union data footprint" in out
         assert "storage.btree" in out
+
+    def test_resilience_flags_reach_the_environment(self, monkeypatch,
+                                                    tmp_path, capsys):
+        for var in RESILIENCE_VARS:
+            monkeypatch.setenv(var, "")  # registers restore-on-teardown
+        ckpt = str(tmp_path / "sweep.ckpt")
+        assert main(["--timeout", "600", "--retries", "3", "--fail-fast",
+                     "--resume", ckpt, "table1"]) == 0
+        assert float(os.environ["REPRO_TIMEOUT"]) == 600.0
+        assert os.environ["REPRO_RETRIES"] == "3"
+        assert os.environ["REPRO_CHECKPOINT"] == ckpt
+        assert os.environ["REPRO_FAIL_FAST"] == "1"
+
+    def test_nonpositive_timeout_rejected(self, capsys):
+        assert main(["--timeout", "0", "table1"]) == 2
+        assert "--timeout" in capsys.readouterr().err
+
+    def test_negative_retries_rejected(self, capsys):
+        assert main(["--retries", "-1", "table1"]) == 2
+        assert "--retries" in capsys.readouterr().err
+
+    def test_cache_stats_surfaced(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert main(["--cache-dir", str(tmp_path / "cache"), "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: hits=0 misses=0 stores=0 errors=0" in out
+
+    def test_no_cache_stats_without_a_cache(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert main(["table1"]) == 0
+        assert "cache:" not in capsys.readouterr().out

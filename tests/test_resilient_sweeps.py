@@ -1,0 +1,269 @@
+"""The resilient sweep executor: validation, retries, checkpoints, resume.
+
+``run_specs`` must never lose completed work: failures are charged to
+individual specs (structured :class:`SpecFailure` records inside a
+:class:`SweepError`), the rest of the grid completes, and a checkpoint
+journal lets a killed sweep resume re-simulating only unfinished specs.
+"""
+
+import os
+import pickle
+import warnings
+
+import pytest
+
+from repro.core import parallel
+from repro.core.experiment import Experiment
+from repro.core.parallel import (
+    RunSpec,
+    SpecFailure,
+    SweepCheckpoint,
+    SweepError,
+    default_jobs,
+    run_specs,
+)
+from repro.simulator.configs import fc_cmp
+
+SCALE = 0.01
+CYCLES = 5_000
+
+
+def _specs(n: int = 3) -> list[RunSpec]:
+    return [
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=mb, scale=SCALE), "dss")
+        for mb in (1.0, 2.0, 4.0, 8.0)[:n]
+    ]
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Resilience knobs at their documented defaults, whatever the outer
+    environment (the CI chaos job runs this suite with them set)."""
+    for var in ("REPRO_FAULTS", "REPRO_RETRIES", "REPRO_TIMEOUT",
+                "REPRO_BACKOFF", "REPRO_FAIL_FAST", "REPRO_CHECKPOINT",
+                "REPRO_JOBS"):
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+class TestRunSpecValidation:
+    def test_valid_coordinates_construct(self):
+        spec = RunSpec(fc_cmp(scale=SCALE), "oltp", "unsaturated")
+        assert spec.mode == "response"
+
+    def test_bad_kind_raises_eagerly(self):
+        with pytest.raises(ValueError, match="unknown workload kind 'olap'"):
+            RunSpec(fc_cmp(scale=SCALE), "olap")
+
+    def test_bad_regime_raises_eagerly(self):
+        with pytest.raises(ValueError, match="unknown regime 'overloaded'"):
+            RunSpec(fc_cmp(scale=SCALE), "dss", "overloaded")
+
+    def test_error_names_the_valid_choices(self):
+        with pytest.raises(ValueError, match="dss.*oltp"):
+            RunSpec(fc_cmp(scale=SCALE), "tpcc")
+
+
+class TestDefaultJobs:
+    def test_valid_value(self, clean_env):
+        clean_env.setenv("REPRO_JOBS", "4")
+        assert default_jobs() == 4
+
+    def test_unset_and_blank_are_silently_one(self, clean_env):
+        assert default_jobs() == 1
+        clean_env.setenv("REPRO_JOBS", "  ")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert default_jobs() == 1
+
+    @pytest.mark.parametrize("raw", ["zero", "-3", "0", "2.5"])
+    def test_invalid_value_warns_once_and_falls_back(self, clean_env, raw):
+        clean_env.setenv("REPRO_JOBS", raw)
+        clean_env.setattr(parallel, "_warned_bad_jobs", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert default_jobs() == 1
+            assert default_jobs() == 1  # second call: no second warning
+        relevant = [w for w in caught
+                    if issubclass(w.category, RuntimeWarning)]
+        assert len(relevant) == 1
+        assert "REPRO_JOBS" in str(relevant[0].message)
+
+
+class TestCheckpointJournal:
+    def _key(self, i: int = 0) -> tuple:
+        return _specs(3)[i].key(SCALE, CYCLES)
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        ckpt = SweepCheckpoint(str(tmp_path / "none.ckpt"))
+        assert ckpt.load() == {}
+
+    @pytest.mark.slow
+    def test_record_then_load_roundtrip(self, tmp_path, clean_env):
+        results = run_specs(_specs(2), SCALE, CYCLES, jobs=1)
+        ckpt = SweepCheckpoint(str(tmp_path / "sweep.ckpt"))
+        for spec, result in zip(_specs(2), results):
+            ckpt.record(spec.key(SCALE, CYCLES), result)
+        loaded = SweepCheckpoint(str(tmp_path / "sweep.ckpt")).load()
+        assert len(loaded) == 2
+        assert loaded[ckpt.digest(self._key(0))] == results[0]
+
+    @pytest.mark.slow
+    def test_truncated_tail_keeps_complete_records(self, tmp_path, clean_env):
+        """A sweep killed mid-append leaves a partial record; every record
+        before it must survive."""
+        path = str(tmp_path / "sweep.ckpt")
+        results = run_specs(_specs(2), SCALE, CYCLES, jobs=1,
+                            checkpoint=path)
+        with open(path, "rb") as fh:
+            whole = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(whole[:len(whole) - 7])  # kill -9 mid-write
+        loaded = SweepCheckpoint(path).load()
+        assert len(loaded) == 1
+        digest = SweepCheckpoint(path).digest(self._key(0))
+        assert loaded[digest] == results[0]
+
+    def test_garbage_file_loads_empty(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        path.write_bytes(b"not a journal at all")
+        assert SweepCheckpoint(str(path)).load() == {}
+
+    def test_wrong_payload_type_ignored(self, tmp_path):
+        path = tmp_path / "sweep.ckpt"
+        with open(path, "wb") as fh:
+            pickle.dump(("digest", {"not": "a result"}), fh)
+        assert SweepCheckpoint(str(path)).load() == {}
+
+    @pytest.mark.slow
+    def test_salt_mismatch_produces_no_matches(self, tmp_path, clean_env):
+        """A checkpoint written by a different simulator version must not
+        be recalled (same re-addressing contract as the result cache)."""
+        path = str(tmp_path / "sweep.ckpt")
+        run_specs(_specs(2), SCALE, CYCLES, jobs=1, checkpoint=path)
+        stale = SweepCheckpoint(path, salt="some-older-sim")
+        digests = set(SweepCheckpoint(path).load())
+        assert stale.digest(self._key(0)) not in digests
+
+    def test_unwritable_journal_is_best_effort(self, tmp_path, clean_env):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file where the journal dir should go")
+        ckpt = SweepCheckpoint(str(blocked / "sub" / "sweep.ckpt"))
+        ckpt.record(self._key(0), object())  # must not raise
+        assert ckpt.recorded == 0
+
+
+@pytest.mark.slow
+class TestResume:
+    def test_interrupted_sweep_resumes_unfinished_specs_only(
+            self, tmp_path, clean_env):
+        """The acceptance scenario: a sweep dies mid-flight; the rerun
+        recalls finished specs from the checkpoint and simulates only the
+        remainder."""
+        path = str(tmp_path / "sweep.ckpt")
+        baseline = run_specs(_specs(), SCALE, CYCLES, jobs=1)
+
+        clean_env.setenv("REPRO_FAULTS", "exec@2x99")
+        with pytest.raises(SweepError) as err:
+            run_specs(_specs(), SCALE, CYCLES, jobs=1, retries=0,
+                      backoff=0.0, checkpoint=path)
+        assert [r is not None for r in err.value.results] == [
+            True, True, False]
+
+        clean_env.delenv("REPRO_FAULTS")
+        simulated = []
+        real_execute = parallel.execute
+
+        def counting_execute(spec, scale, default_cycles):
+            simulated.append(spec)
+            return real_execute(spec, scale, default_cycles)
+
+        clean_env.setattr(parallel, "execute", counting_execute)
+        resumed = run_specs(_specs(), SCALE, CYCLES, jobs=1,
+                            checkpoint=path)
+        assert len(simulated) == 1  # only the spec the fault killed
+        assert resumed == baseline
+
+    def test_completed_checkpoint_resumes_with_zero_simulation(
+            self, tmp_path, clean_env):
+        path = str(tmp_path / "sweep.ckpt")
+        first = run_specs(_specs(2), SCALE, CYCLES, jobs=1, checkpoint=path)
+        clean_env.setattr(parallel, "execute", None)  # unreachable
+        again = run_specs(_specs(2), SCALE, CYCLES, jobs=1, checkpoint=path)
+        assert again == first
+
+    def test_checkpoint_env_knob_reaches_run_specs(self, tmp_path,
+                                                   clean_env):
+        path = str(tmp_path / "sweep.ckpt")
+        clean_env.setenv("REPRO_CHECKPOINT", path)
+        run_specs(_specs(2), SCALE, CYCLES, jobs=1)
+        assert os.path.exists(path)
+        assert len(SweepCheckpoint(path).load()) == 2
+
+
+@pytest.mark.slow
+class TestFailureHandling:
+    def test_fail_fast_stops_at_first_exhausted_spec(self, clean_env):
+        clean_env.setenv("REPRO_FAULTS", "exec@0x99;exec@1x99")
+        attempted = []
+        real_execute = parallel.execute
+
+        def counting_execute(spec, scale, default_cycles):
+            attempted.append(spec)
+            return real_execute(spec, scale, default_cycles)
+
+        clean_env.setattr(parallel, "execute", counting_execute)
+        with pytest.raises(SweepError) as err:
+            run_specs(_specs(), SCALE, CYCLES, jobs=1, retries=0,
+                      backoff=0.0, fail_fast=True)
+        assert [f.index for f in err.value.failures] == [0]
+        # Spec 1 and 2 were never reached (the injected fault fires
+        # before execute, so nothing was simulated at all).
+        assert attempted == []
+
+    def test_backoff_grows_exponentially(self, clean_env):
+        clean_env.setenv("REPRO_FAULTS", "exec@0x3")
+        naps = []
+        clean_env.setattr(parallel.time, "sleep", naps.append)
+        got = run_specs(_specs(2), SCALE, CYCLES, jobs=1, retries=3,
+                        backoff=0.5)
+        assert naps == [0.5, 1.0, 2.0]
+        assert all(r is not None for r in got)
+
+    def test_failure_records_are_ordered_and_complete(self, clean_env):
+        clean_env.setenv("REPRO_FAULTS", "exec@0x99;exec@2x99")
+        with pytest.raises(SweepError) as err:
+            run_specs(_specs(), SCALE, CYCLES, jobs=1, retries=1,
+                      backoff=0.0)
+        assert [f.index for f in err.value.failures] == [0, 2]
+        for failure in err.value.failures:
+            assert isinstance(failure, SpecFailure)
+            assert failure.attempts == 2
+            assert failure.spec.kind == "dss"
+        # The healthy spec still completed.
+        assert err.value.results[1] is not None
+        assert "2 of 3 specs failed" in str(err.value)
+
+    def test_run_many_salvages_completed_results(self, clean_env, tmp_path):
+        """A failed sweep must not waste its completed simulations: they
+        land in the memo and disk cache before SweepError propagates."""
+        clean_env.setenv("REPRO_FAULTS", "exec@1x99")
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                         cache_dir=str(tmp_path))
+        with pytest.raises(SweepError):
+            exp.run_many(_specs(), jobs=1, retries=0, backoff=0.0)
+        assert exp.sim_runs == 2
+        assert exp.cache.stores == 2
+
+        clean_env.delenv("REPRO_FAULTS")
+        retry = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                           cache_dir=str(tmp_path))
+        results = retry.run_many(_specs(), jobs=1)
+        assert retry.sim_runs == 1  # only the spec that failed
+        assert all(r is not None for r in results)
+
+    def test_timeout_without_hang_changes_nothing(self, clean_env):
+        baseline = run_specs(_specs(2), SCALE, CYCLES, jobs=1)
+        generous = run_specs(_specs(2), SCALE, CYCLES, jobs=2,
+                             timeout=300.0, retries=2)
+        assert generous == baseline

@@ -2,16 +2,22 @@
 
 The cache must be strictly an accelerator: a damaged or stale cache may
 only cost re-simulation, never change results or crash, and a warm cache
-must satisfy repeated runs with zero ``Machine.run`` calls.
+must satisfy repeated runs with zero ``Machine.run`` calls.  That holds
+under concurrency (two processes racing on one key) and under the fault
+injector's cache-corruption site (``REPRO_FAULTS=corrupt@i``).
 """
 
 import os
+import pickle
+import subprocess
+import sys
+import textwrap
 
 import pytest
 
 from repro.core import parallel
 from repro.core.experiment import Experiment, _config_key
-from repro.core.parallel import ResultCache, RunSpec, config_key
+from repro.core.parallel import ResultCache, RunSpec, config_key, execute
 from repro.simulator.configs import fc_cmp
 
 SCALE = 0.02
@@ -165,3 +171,101 @@ class TestConfigKey:
     def test_key_is_usable_as_dict_key(self):
         d = {config_key(_config()): 1}
         assert d[config_key(_config())] == 1
+
+
+class TestPutRobustness:
+    def test_stats_summary(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
+                                 "errors": 0}
+        assert cache.get(("nothing",)) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_unpicklable_payload_counts_error_never_raises(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("deliberately unpicklable")
+
+        cache = ResultCache(str(tmp_path))
+        cache.put(("k",), Unpicklable())  # must not propagate
+        assert cache.errors == 1
+        assert cache.stores == 0
+        assert _cache_files(tmp_path) == []
+
+    def test_no_temp_droppings_after_failed_store(self, tmp_path):
+        class Unpicklable:
+            def __reduce__(self):
+                raise RuntimeError("nope")
+
+        cache = ResultCache(str(tmp_path))
+        cache.put(("k",), Unpicklable())
+        leftovers = [name for _, _, names in os.walk(tmp_path)
+                     for name in names]
+        assert leftovers == []
+
+
+@pytest.mark.slow
+class TestConcurrentWriters:
+    def test_two_processes_storing_the_same_key(self, tmp_path):
+        """Two cache writers racing on one key must both succeed without
+        errors, and the surviving entry must be readable (each store is
+        an atomic rename of a private temp file)."""
+        result = execute(RunSpec(_config(), "dss"), SCALE, CYCLES)
+        blob = tmp_path / "result.pkl"
+        blob.write_bytes(pickle.dumps(result))
+        root = tmp_path / "cache"
+        script = textwrap.dedent(f"""
+            import pickle
+            from repro.core.parallel import ResultCache
+            with open({str(blob)!r}, "rb") as fh:
+                result = pickle.load(fh)
+            cache = ResultCache({str(root)!r})
+            for _ in range(40):
+                cache.put(("concurrent", "writers"), result)
+            print(cache.errors, cache.stores)
+        """)
+        src_dir = os.path.join(
+            os.path.dirname(os.path.dirname(__file__)), "src")
+        env = {k: v for k, v in os.environ.items() if k != "REPRO_FAULTS"}
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_dir] + [p for p in (env.get("PYTHONPATH"),) if p])
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script], env=env,
+                             stdout=subprocess.PIPE, text=True)
+            for _ in range(2)
+        ]
+        outs = [p.communicate()[0].split() for p in procs]
+        assert all(p.returncode == 0 for p in procs)
+        assert [out for out in outs] == [["0", "40"], ["0", "40"]]
+        reader = ResultCache(str(root))
+        assert reader.get(("concurrent", "writers")) == result
+        droppings = [name for _, _, names in os.walk(root)
+                     for name in names if name.endswith(".tmp")]
+        assert droppings == []
+
+
+@pytest.mark.slow
+class TestCorruptionUnderInjector:
+    def test_injected_corruption_recovers_by_resimulating(
+            self, tmp_path, monkeypatch):
+        """``corrupt@i`` writes garbage for batch index i; the next
+        reader treats it as a corrupt entry, re-simulates bit-for-bit,
+        and repairs the cache."""
+        specs = [RunSpec(_config(mb), "dss") for mb in (1.0, 4.0)]
+        monkeypatch.setenv("REPRO_FAULTS", "corrupt@1")
+        e1 = _experiment(tmp_path)
+        first = e1.run_many(specs, jobs=1)
+        assert e1.cache.stores == 2  # both written, one as garbage
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        e2 = _experiment(tmp_path)
+        second = e2.run_many(specs, jobs=1)
+        assert second == first
+        assert e2.cache.errors == 1
+        assert e2.cache.hits == 1
+        assert e2.sim_runs == 1  # only the corrupted entry re-simulated
+
+        # The refill repaired the entry: a third reader is all hits.
+        e3 = _experiment(tmp_path)
+        assert e3.run_many(specs, jobs=1) == first
+        assert e3.sim_runs == 0
