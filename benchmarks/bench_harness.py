@@ -1,0 +1,42 @@
+"""Standalone runner for the perf-regression bench harness.
+
+Thin wrapper over :mod:`repro.core.bench` so the perf trajectory can be
+produced without the CLI::
+
+    PYTHONPATH=src python benchmarks/bench_harness.py --quick
+    PYTHONPATH=src python benchmarks/bench_harness.py --out BENCH_LOCAL.json
+
+The pinned grid, the three timed modes (serial / parallel-cold /
+parallel-warm), the ``BENCH_*.json`` schema, and the monotonic-clock
+contract are all defined (and tested) in ``repro.core.bench``; this file
+adds argument parsing only, so CI, the CLI ``repro bench`` subcommand,
+and local runs cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.bench import DEFAULT_OUT, format_bench, run_bench
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the pinned mini-sweep (serial, parallel-cold, "
+                    "parallel-warm) and write a BENCH_*.json snapshot.")
+    parser.add_argument("--quick", action="store_true",
+                        help="small pinned grid (the CI configuration)")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT})")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="pool width for the parallel modes")
+    args = parser.parse_args(argv)
+    record = run_bench(quick=args.quick, out_path=args.out, jobs=args.jobs)
+    print(format_bench(record))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

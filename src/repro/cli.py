@@ -17,11 +17,18 @@ Resilience (see DESIGN.md §6)::
     python -m repro --jobs 4 --resume sweep.ckpt all   # resumable sweep
     python -m repro --fail-fast fig6                   # abort on first loss
 
+Observability (see DESIGN.md §7)::
+
+    python -m repro --telemetry .telemetry --jobs 4 fig6   # JSONL events
+    python -m repro stats .telemetry                       # sweep summary
+    python -m repro bench --quick                          # BENCH_*.json
+
 Parallelism, caching, and resilience can also be driven from the
 environment: ``REPRO_JOBS`` sets the default worker count,
-``REPRO_CACHE_DIR`` the persistent result-cache root, and
+``REPRO_CACHE_DIR`` the persistent result-cache root,
 ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_FAIL_FAST`` /
-``REPRO_CHECKPOINT`` the sweep resilience knobs (see DESIGN.md §5-6).
+``REPRO_CHECKPOINT`` the sweep resilience knobs (see DESIGN.md §5-6),
+and ``REPRO_TELEMETRY`` the telemetry event-log target (DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import os
 import sys
 import time
 
-from .core import figures
+from .core import figures, telemetry
 from .core.experiment import Experiment, SweepError
 from .workloads.driver import workload_for
 from .workloads.profile import format_profile, profile_workload
@@ -60,6 +67,13 @@ def _print_cache_stats(exp: Experiment) -> None:
     stats = exp.cache_stats()
     if stats is not None:
         print("cache: " + " ".join(f"{k}={v}" for k, v in stats.items()))
+    summary = exp.telemetry_summary()
+    if summary is not None:
+        print(f"telemetry: {summary['specs']} specs "
+              f"(p50 {summary['spec_wall_p50']:.2f}s, "
+              f"p95 {summary['spec_wall_p95']:.2f}s, "
+              f"util {summary['worker_utilization']:.0%}) -> "
+              f"{exp.telemetry.path}")
 
 
 def run_figures(names: list[str], scale: float | None,
@@ -99,6 +113,35 @@ def run_profile(kind: str, scale: float | None) -> int:
     return 0
 
 
+def run_stats(target: str) -> int:
+    """Summarize a telemetry event log (``repro stats DIR|FILE``)."""
+    path = telemetry.telemetry_path(target)
+    if not os.path.exists(path):
+        print(f"no telemetry log at {path}", file=sys.stderr)
+        return 2
+    events = telemetry.load_events(path)
+    if not events:
+        print(f"telemetry log {path} holds no readable events",
+              file=sys.stderr)
+        return 2
+    print(telemetry.format_summary(telemetry.summarize(events)))
+    return 0
+
+
+def run_bench_cmd(quick: bool, out_path: str) -> int:
+    """Time the pinned mini-sweep and write a ``BENCH_*.json`` snapshot."""
+    from .core import bench
+
+    try:
+        record = bench.run_bench(quick=quick, out_path=out_path)
+    except SweepError as err:
+        print(f"bench: sweep failed — {err}", file=sys.stderr)
+        return 1
+    print(bench.format_bench(record))
+    print(f"wrote {out_path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -133,9 +176,21 @@ def main(argv: list[str] | None = None) -> int:
                         help="abort a sweep on the first point that "
                              "exhausts its retries (default: finish the "
                              "rest of the grid, then report)")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="append JSONL run-telemetry events under DIR "
+                             "(or to DIR itself when it ends in .jsonl); "
+                             "summarize later with 'repro stats DIR' "
+                             "(default: REPRO_TELEMETRY, or off)")
+    parser.add_argument("--quick", action="store_true",
+                        help="with 'bench': run the small pinned grid "
+                             "(the CI configuration)")
+    parser.add_argument("--bench-out", metavar="PATH", default=None,
+                        help="with 'bench': output JSON path (default: "
+                             "BENCH_PR3.json)")
     parser.add_argument("targets", nargs="*", default=["list"],
-                        help="figure names, 'all', 'list', 'validate', or "
-                             "'profile <oltp|dss>'")
+                        help="figure names, 'all', 'list', 'validate', "
+                             "'profile <oltp|dss>', 'stats <telemetry>', "
+                             "or 'bench'")
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -161,6 +216,8 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_CHECKPOINT"] = args.resume
     if args.fail_fast:
         os.environ["REPRO_FAIL_FAST"] = "1"
+    if args.telemetry is not None:
+        os.environ["REPRO_TELEMETRY"] = args.telemetry
 
     targets = list(args.targets) or ["list"]
     if targets[0] == "list":
@@ -170,12 +227,28 @@ def main(argv: list[str] | None = None) -> int:
         print("  all        (every figure)")
         print("  validate   (Fig. 3 comparison, report only)")
         print("  profile <oltp|dss>")
+        print("  stats <telemetry-dir-or-.jsonl>")
+        print("  bench      (perf-regression snapshot; see --quick)")
         return 0
     if targets[0] == "profile":
         if len(targets) != 2 or targets[1] not in ("oltp", "dss"):
             print("usage: repro profile <oltp|dss>", file=sys.stderr)
             return 2
         return run_profile(targets[1], args.scale)
+    if targets[0] == "stats":
+        source = targets[1] if len(targets) == 2 else (
+            args.telemetry or os.environ.get("REPRO_TELEMETRY", "").strip())
+        if not source:
+            print("usage: repro stats <telemetry-dir-or-.jsonl> "
+                  "(or set --telemetry/REPRO_TELEMETRY)", file=sys.stderr)
+            return 2
+        return run_stats(source)
+    if targets[0] == "bench":
+        if len(targets) != 1:
+            print("usage: repro bench [--quick] [--bench-out PATH]",
+                  file=sys.stderr)
+            return 2
+        return run_bench_cmd(args.quick, args.bench_out or "BENCH_PR3.json")
     if targets[0] == "validate":
         return run_figures(["fig3"], args.scale,
                            cache_dir=args.cache_dir,

@@ -1,0 +1,245 @@
+"""Perf-regression bench harness: the repo's self-measurement trajectory.
+
+A characterization study that cannot characterize itself has no standing
+to slow down quietly.  ``repro bench`` (or ``benchmarks/bench_harness.py``)
+times a *pinned* mini-sweep — fixed scale, window, L2 sizes, and workload
+kinds — through the three execution paths the harness actually uses:
+
+- ``serial``         — in-process, no disk cache (the pure simulator
+  throughput baseline);
+- ``parallel-cold``  — process-pool fan-out into an empty result cache
+  (pool spawn + per-worker workload build overheads);
+- ``parallel-warm``  — the same sweep again over the now-warm cache
+  (every spec must come back as a disk-cache hit).
+
+Each run records its monotonic wall time (``time.perf_counter`` deltas
+only — recorded durations never touch the wall clock, which
+``tests/test_bench_harness.py`` locks down), the deterministic simulated
+access count, the derived accesses/second, and — via a per-mode telemetry
+log — worker utilization and cache hit/miss/store provenance by call
+site.  The result is written as ``BENCH_PR3.json`` at the repo root:
+one schema-versioned snapshot per PR, so future PRs can diff the
+trajectory and catch harness regressions without re-deriving a baseline.
+
+Timing numbers vary with host load, so CI treats the harness as a smoke
+test (it must *run*, not hit a target); the JSON artifact is where the
+trajectory accumulates.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from time import perf_counter
+
+from ..simulator.configs import fc_cmp
+from .experiment import Experiment
+from .parallel import CODE_VERSION, RunSpec
+from .telemetry import load_events, summarize, telemetry_path
+
+__all__ = [
+    "BENCH_MODES",
+    "BENCH_SCHEMA",
+    "DEFAULT_OUT",
+    "run_bench",
+    "validate_bench",
+]
+
+#: Schema version stamped into every bench record.
+BENCH_SCHEMA = "repro-bench-v1"
+
+#: Default output filename (repo root).
+DEFAULT_OUT = "BENCH_PR3.json"
+
+#: The three timed execution paths, in run order (warm must follow cold).
+BENCH_MODES = ("serial", "parallel-cold", "parallel-warm")
+
+#: Pinned mini-sweep coordinates.  These are part of the bench contract:
+#: changing them resets the perf trajectory, so bump the output filename
+#: (new PR, new ``BENCH_*.json``) rather than editing in place.
+QUICK_CONFIG = {
+    "scale": 0.01,
+    "measure_cycles": 5_000,
+    "sizes_mb": [1.0, 2.0, 4.0],
+    "kinds": ["dss"],
+    "jobs": 2,
+}
+FULL_CONFIG = {
+    "scale": 0.02,
+    "measure_cycles": 40_000,
+    "sizes_mb": [1.0, 4.0, 16.0],
+    "kinds": ["oltp", "dss"],
+    "jobs": 2,
+}
+
+
+def _git_commit() -> str | None:
+    """The current commit hash, or None outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = proc.stdout.strip()
+    return commit if proc.returncode == 0 and commit else None
+
+
+def _specs(config: dict) -> list[RunSpec]:
+    return [
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=size, scale=config["scale"]),
+                kind)
+        for kind in config["kinds"]
+        for size in config["sizes_mb"]
+    ]
+
+
+def _timed_run(specs, config, mode: str, jobs: int,
+               cache_dir: str | None, telem_dir: str) -> dict:
+    """Run the pinned sweep once through ``mode``; return its record."""
+    log = telemetry_path(os.path.join(telem_dir, mode))
+    exp = Experiment(
+        scale=config["scale"],
+        measure_cycles=config["measure_cycles"],
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+        telemetry=log,
+    )
+    t0 = perf_counter()
+    results = exp.run_many(specs, jobs=jobs)
+    wall = perf_counter() - t0
+    accesses = sum(r.hier_stats.data_accesses for r in results)
+    summary = summarize(load_events(log))
+    return {
+        "mode": mode,
+        "wall_seconds": round(wall, 6),
+        "specs": len(specs),
+        "simulated": exp.sim_runs,
+        "accesses": accesses,
+        "accesses_per_sec": round(accesses / wall, 3) if wall > 0 else 0.0,
+        "worker_utilization": summary["worker_utilization"],
+        "spec_wall_p50": summary["spec_wall_p50"],
+        "spec_wall_p95": summary["spec_wall_p95"],
+        "cache": exp.cache_stats(),
+        "cache_by_source": summary["cache_by_source"] or None,
+    }
+
+
+def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
+              jobs: int | None = None) -> dict:
+    """Time the pinned mini-sweep through all three execution paths.
+
+    Args:
+        quick: Use the small grid (CI, tests); False runs the fuller one.
+        out_path: Where to write the JSON record; None skips writing.
+        jobs: Pool width override for the parallel modes.
+
+    Returns:
+        The bench record (also written to ``out_path``), validated
+        against :func:`validate_bench` before any write.
+    """
+    config = dict(QUICK_CONFIG if quick else FULL_CONFIG)
+    config["quick"] = quick
+    if jobs is not None:
+        config["jobs"] = max(1, int(jobs))
+    specs = _specs(config)
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+        cache_dir = os.path.join(scratch, "cache")
+        runs.append(_timed_run(specs, config, "serial", 1, None, scratch))
+        runs.append(_timed_run(specs, config, "parallel-cold",
+                               config["jobs"], cache_dir, scratch))
+        runs.append(_timed_run(specs, config, "parallel-warm",
+                               config["jobs"], cache_dir, scratch))
+    record = {
+        "schema": BENCH_SCHEMA,
+        "code_version": CODE_VERSION,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "config": config,
+        "runs": runs,
+    }
+    validate_bench(record)
+    if out_path:
+        payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
+        parent = os.path.dirname(os.path.abspath(out_path))
+        fd, tmp = tempfile.mkstemp(dir=parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, out_path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    return record
+
+
+def validate_bench(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` is a valid bench snapshot."""
+    if not isinstance(record, dict):
+        raise ValueError("bench record must be an object")
+    if record.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"schema must be {BENCH_SCHEMA!r}, got {record.get('schema')!r}")
+    for field, types in (("code_version", str), ("python", str),
+                         ("platform", str), ("config", dict),
+                         ("runs", list)):
+        if not isinstance(record.get(field), types):
+            raise ValueError(f"missing or mistyped field {field!r}")
+    if not (record.get("commit") is None or isinstance(record["commit"], str)):
+        raise ValueError("'commit' must be a string or null")
+    config = record["config"]
+    for field in ("scale", "measure_cycles", "sizes_mb", "kinds", "jobs"):
+        if field not in config:
+            raise ValueError(f"config missing {field!r}")
+    runs = record["runs"]
+    if [r.get("mode") for r in runs] != list(BENCH_MODES):
+        raise ValueError(
+            f"runs must cover {BENCH_MODES} in order, got "
+            f"{[r.get('mode') for r in runs]}")
+    for run in runs:
+        for field in ("wall_seconds", "accesses_per_sec"):
+            value = run.get(field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"run {run.get('mode')!r}: {field!r} must be a "
+                    "non-negative number")
+        for field in ("specs", "simulated", "accesses"):
+            value = run.get(field)
+            if not isinstance(value, int) or value < 0:
+                raise ValueError(
+                    f"run {run.get('mode')!r}: {field!r} must be a "
+                    "non-negative int")
+    warm = runs[-1]
+    cache = warm.get("cache")
+    if not isinstance(cache, dict):
+        raise ValueError("parallel-warm run must report cache stats")
+    if warm["simulated"] != 0 or cache.get("hits", 0) < warm["specs"]:
+        raise ValueError(
+            "parallel-warm run must be served entirely from the result "
+            f"cache (simulated={warm['simulated']}, cache={cache})")
+
+
+def format_bench(record: dict) -> str:
+    """One-line-per-mode rendering for the CLI."""
+    lines = [f"bench {record['schema']}  commit "
+             f"{(record['commit'] or 'unknown')[:12]}  "
+             f"python {record['python']}"]
+    for run in record["runs"]:
+        cache = run.get("cache")
+        cache_txt = ("" if cache is None else
+                     f"  cache hits={cache['hits']} stores={cache['stores']}")
+        lines.append(
+            f"  {run['mode']:<14} {run['wall_seconds']:8.3f}s  "
+            f"{run['accesses_per_sec']:>10g} acc/s  "
+            f"util {run['worker_utilization']:.0%}{cache_txt}")
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ from .parallel import (
     run_specs,
 )
 from .taxonomy import Camp, Cell, Regime
+from .telemetry import as_recorder, load_events, summarize
 
 __all__ = [
     "WARM_FRACTIONS",
@@ -79,19 +80,26 @@ class Experiment:
         use_cache: Set False to disable the disk cache outright (the
             in-memory memo always stays on).
         cache: An explicit :class:`ResultCache` (overrides ``cache_dir``).
+        telemetry: A :mod:`repro.core.telemetry` recorder or event-log
+            path; None consults ``REPRO_TELEMETRY`` (telemetry off when
+            that is unset too).  Cache hit/miss/store provenance and all
+            sweep lifecycle events flow through it.
 
     Attributes:
         sim_runs: Number of specs this experiment resolved through the
             sweep layer (memo and disk-cache hits do not count; sweep-
             checkpoint recalls do) — the counter the determinism/cache
             tests assert on.
+        telemetry: The resolved recorder (the inert null recorder when
+            telemetry is off).
     """
 
     def __init__(self, scale: float | None = None,
                  measure_cycles: float = DEFAULT_MEASURE_CYCLES,
                  cache_dir: str | None = None,
                  use_cache: bool = True,
-                 cache: ResultCache | None = None):
+                 cache: ResultCache | None = None,
+                 telemetry=None):
         self.scale = default_scale() if scale is None else scale
         self.measure_cycles = measure_cycles
         self._results: dict[tuple, MachineResult] = {}
@@ -103,6 +111,7 @@ class Experiment:
             self.cache = ResultCache(cache_dir)
         else:
             self.cache = ResultCache.from_env()
+        self.telemetry = as_recorder(telemetry)
         self.sim_runs = 0
 
     # ------------------------------------------------------------------ #
@@ -118,8 +127,13 @@ class Experiment:
     # Running                                                             #
     # ------------------------------------------------------------------ #
 
-    def _lookup(self, key: tuple) -> MachineResult | None:
-        """Memo, then disk cache (promoting disk hits into the memo)."""
+    def _lookup(self, key: tuple, source: str = "run") -> MachineResult | None:
+        """Memo, then disk cache (promoting disk hits into the memo).
+
+        ``source`` names the call site ("run", "sweep", ...) for the
+        telemetry cache-provenance events; the plain ``ResultCache``
+        counters cannot attribute a hit to the path that took it.
+        """
         cached = self._results.get(key)
         if cached is not None:
             return cached
@@ -127,18 +141,29 @@ class Experiment:
             stored = self.cache.get(key)
             if stored is not None:
                 self._results[key] = stored
+                self.telemetry.emit("cache_hit", source=source)
                 return stored
+            self.telemetry.emit("cache_miss", source=source)
         return None
 
     def _store(self, key: tuple, result: MachineResult,
-               index: int | None = None) -> None:
+               index: int | None = None, source: str = "run") -> None:
         self._results[key] = result
         if self.cache is not None:
             self.cache.put(key, result, index=index)
+            self.telemetry.emit("cache_store", source=source, index=index)
 
     def cache_stats(self) -> dict | None:
         """Disk-cache accounting (hits/misses/stores/errors), or None."""
         return None if self.cache is None else self.cache.stats()
+
+    def telemetry_summary(self) -> dict | None:
+        """The aggregated sweep summary from this experiment's event log
+        (:func:`repro.core.telemetry.summarize`), or None when telemetry
+        is disabled."""
+        if not self.telemetry.enabled or not self.telemetry.path:
+            return None
+        return summarize(load_events(self.telemetry.path))
 
     def run(self, config: MachineConfig, kind: str,
             regime: str = "saturated", n_clients: int | None = None,
@@ -163,7 +188,8 @@ class Experiment:
                  retries: int | None = None,
                  backoff: float | None = None,
                  fail_fast: bool | None = None,
-                 checkpoint=None) -> list[MachineResult]:
+                 checkpoint=None,
+                 telemetry=None) -> list[MachineResult]:
         """Run (or recall) a batch of measurements, fanned across workers.
 
         Args:
@@ -174,6 +200,9 @@ class Experiment:
             timeout/retries/backoff/fail_fast/checkpoint: Resilience knobs
                 forwarded to :func:`repro.core.parallel.run_specs`; None
                 reads the matching ``REPRO_*`` environment default.
+            telemetry: Recorder override for this batch; None uses the
+                experiment's recorder (itself defaulting to
+                ``REPRO_TELEMETRY``).
 
         Returns:
             Results in spec order, field-for-field identical to what
@@ -190,7 +219,7 @@ class Experiment:
         specs = [_as_spec(s) for s in specs]
         keys = [s.key(self.scale, self.measure_cycles) for s in specs]
         results: list[MachineResult | None] = [
-            self._lookup(k) for k in keys
+            self._lookup(k, source="sweep") for k in keys
         ]
         todo: list[int] = []
         seen: dict[tuple, int] = {}
@@ -199,24 +228,28 @@ class Experiment:
                 seen[key] = i
                 todo.append(i)
         if todo:
+            telem = self.telemetry if telemetry is None else telemetry
             try:
                 fresh = run_specs([specs[i] for i in todo], self.scale,
                                   self.measure_cycles, jobs=jobs,
                                   timeout=timeout, retries=retries,
                                   backoff=backoff, fail_fast=fail_fast,
-                                  checkpoint=checkpoint)
+                                  checkpoint=checkpoint, telemetry=telem)
             except SweepError as err:
                 # Salvage everything that completed: memo + disk cache
                 # (the sweep checkpoint, when set, already has them).
+                # Telemetry attributes these stores to the salvage path,
+                # which the lump-sum ResultCache.stats() counters cannot.
                 for pos, i in enumerate(todo):
                     result = err.results[pos]
                     if result is not None:
                         self.sim_runs += 1
-                        self._store(keys[i], result, index=pos)
+                        self._store(keys[i], result, index=pos,
+                                    source="salvage")
                 raise
             self.sim_runs += len(fresh)
             for pos, (i, result) in enumerate(zip(todo, fresh)):
-                self._store(keys[i], result, index=pos)
+                self._store(keys[i], result, index=pos, source="sweep")
                 results[i] = result
             # Duplicate specs within the batch resolve off the memo.
             for i, (key, res) in enumerate(zip(keys, results)):

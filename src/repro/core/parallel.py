@@ -62,8 +62,10 @@ from ..simulator.machine import (
     MachineConfig,
     MachineResult,
 )
+from ..simulator.profiling import NULL_PROBE, RunProbe
 from ..workloads.driver import workload_for
 from . import faults
+from .telemetry import NULL_RECORDER, as_recorder, worker_recorder
 
 #: Cache salt: bump whenever a change alters simulation results so stale
 #: on-disk entries are invalidated instead of silently recalled.
@@ -180,12 +182,16 @@ class RunSpec:
 
 
 def execute(spec: RunSpec, scale: float,
-            default_cycles: float = DEFAULT_MEASURE_CYCLES) -> MachineResult:
+            default_cycles: float = DEFAULT_MEASURE_CYCLES,
+            probe=NULL_PROBE) -> MachineResult:
     """Simulate one spec from scratch (no memoization, no cache).
 
     This is the single simulation path shared by ``Experiment.run``, the
     pool workers, and cache-miss refills, which is what makes parallel
-    results bit-for-bit identical to serial ones.
+    results bit-for-bit identical to serial ones.  ``probe`` is a
+    :mod:`repro.simulator.profiling` observer (phase wall-times, event
+    counts); it reads simulation outputs but never feeds anything back,
+    so results are identical with or without one.
     """
     workload = workload_for(spec.kind, spec.regime, scale,
                             n_clients=spec.n_clients)
@@ -195,6 +201,7 @@ def execute(spec: RunSpec, scale: float,
         mode=spec.mode,
         measure_cycles=spec.resolved_cycles(default_cycles),
         warm_fraction=WARM_FRACTIONS[spec.kind],
+        probe=probe,
     )
 
 
@@ -400,19 +407,36 @@ class _PoolUnavailable(Exception):
 
 
 def _guarded_execute(spec: RunSpec, scale: float, default_cycles: float,
-                     index: int, attempt: int) -> MachineResult:
-    """The sweep-layer execution path: fault hooks, then :func:`execute`."""
+                     index: int, attempt: int, telem=NULL_RECORDER,
+                     sweep: str | None = None) -> MachineResult:
+    """The sweep-layer execution path: fault hooks, then :func:`execute`.
+
+    With telemetry enabled the executing process (pool worker or serial
+    fallback) emits one ``spec_exec`` event carrying its pid, the
+    monotonic wall time, and the simulator probe's phase/counter
+    snapshot; the fault hooks fire *before* timing starts so an injected
+    crash or hang never half-writes an event.
+    """
     faults.maybe_raise(index, attempt)
-    return execute(spec, scale, default_cycles)
+    if not telem.enabled:
+        return execute(spec, scale, default_cycles)
+    probe = RunProbe()
+    t0 = time.monotonic()
+    result = execute(spec, scale, default_cycles, probe=probe)
+    telem.emit("spec_exec", sweep=sweep, index=index, attempt=attempt,
+               wall_s=round(time.monotonic() - t0, 6),
+               profile=probe.snapshot())
+    return result
 
 
 def _pool_worker(payload: tuple) -> MachineResult:
-    spec, scale, default_cycles, index, attempt = payload
+    spec, scale, default_cycles, index, attempt, telem_path, sweep = payload
     # Crash/hang faults fire only here: in-process they would kill or
     # stall the parent instead of exercising recovery.
     faults.maybe_crash(index, attempt)
     faults.maybe_hang(index, attempt)
-    return _guarded_execute(spec, scale, default_cycles, index, attempt)
+    return _guarded_execute(spec, scale, default_cycles, index, attempt,
+                            worker_recorder(telem_path), sweep)
 
 
 def _terminate_pool(pool) -> None:
@@ -444,32 +468,43 @@ def _terminate_pool(pool) -> None:
 
 
 def _run_serial(specs, scale, default_cycles, indices, retries, backoff,
-                fail_fast, attempts, failures, finish) -> None:
+                fail_fast, attempts, failures, finish,
+                telem=NULL_RECORDER, sweep: str | None = None) -> None:
     """Retrying in-process executor (no timeouts: nothing can preempt a
     hung spec without a worker process to kill)."""
     for i in indices:
         while True:
             attempt = attempts[i]
+            telem.emit("spec_started", sweep=sweep, index=i,
+                       attempt=attempt)
+            t0 = time.monotonic()
             try:
                 result = _guarded_execute(specs[i], scale, default_cycles,
-                                          i, attempt)
+                                          i, attempt, telem, sweep)
             except Exception as exc:
                 attempts[i] += 1
+                message = f"{type(exc).__name__}: {exc}"
                 if attempts[i] > retries:
                     failures[i] = SpecFailure(
-                        i, specs[i], "error", attempts[i],
-                        f"{type(exc).__name__}: {exc}")
+                        i, specs[i], "error", attempts[i], message)
+                    telem.emit("spec_failed", sweep=sweep, index=i,
+                               kind="error", attempts=attempts[i],
+                               message=message)
                     break
+                telem.emit("spec_retry", sweep=sweep, index=i,
+                           attempt=attempts[i], kind="error",
+                           message=message)
                 time.sleep(backoff * (2 ** attempt))
             else:
-                finish(i, result)
+                finish(i, result, time.monotonic() - t0)
                 break
         if i in failures and fail_fast:
             return
 
 
 def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
-              backoff, fail_fast, attempts, failures, finish) -> None:
+              backoff, fail_fast, attempts, failures, finish,
+              telem=NULL_RECORDER, sweep: str | None = None) -> None:
     """Fan ``pending`` spec indices across a process pool, resiliently.
 
     Specs are submitted one future at a time into a window of at most
@@ -494,16 +529,21 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
         if attempts[index] > retries:
             failures[index] = SpecFailure(index, specs[index], kind,
                                           attempts[index], message)
+            telem.emit("spec_failed", sweep=sweep, index=index, kind=kind,
+                       attempts=attempts[index], message=message)
             if fail_fast:
                 aborted = True
         else:
+            telem.emit("spec_retry", sweep=sweep, index=index,
+                       attempt=attempts[index], kind=kind, message=message)
             delay = backoff * (2 ** (attempts[index] - 1))
             if delay > 0:
                 time.sleep(delay)
             queue.append(index)
 
-    def collect(fut, index: int) -> bool:
+    def collect(fut, entry: tuple) -> bool:
         """Absorb one completed future; True if the pool broke."""
+        index, submitted_at = entry
         try:
             result = fut.result()
         except BrokenProcessPool as exc:
@@ -521,9 +561,10 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
         except Exception as exc:
             attempt_failed(index, "error", f"{type(exc).__name__}: {exc}")
             return False
-        finish(index, result)
+        finish(index, result, time.monotonic() - submitted_at)
         return False
 
+    telem_path = getattr(telem, "path", None)
     pool = new_pool()
     queue: deque[int] = deque(pending)
     inflight: dict = {}  # future -> (spec index, submitted_at)
@@ -534,7 +575,7 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
                 # Keep results that made it back before the teardown;
                 # everything else re-runs without being charged.
                 for fut in [f for f in inflight if f.done()]:
-                    collect(fut, inflight.pop(fut)[0])
+                    collect(fut, inflight.pop(fut))
                 for fut in list(inflight):
                     queue.append(inflight.pop(fut)[0])
                 _terminate_pool(pool)
@@ -544,7 +585,7 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
             while queue and len(inflight) < max_workers:
                 index = queue.popleft()
                 payload = (specs[index], scale, default_cycles, index,
-                           attempts[index])
+                           attempts[index], telem_path, sweep)
                 try:
                     fut = pool.submit(_pool_worker, payload)
                 except BrokenProcessPool:
@@ -553,6 +594,8 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
                     break
                 except RuntimeError as exc:
                     raise _PoolUnavailable from exc
+                telem.emit("spec_started", sweep=sweep, index=index,
+                           attempt=attempts[index])
                 inflight[fut] = (index, time.monotonic())
             if rebuild or not inflight:
                 continue
@@ -565,7 +608,7 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
             done, _ = futures.wait(set(inflight), timeout=wait_for,
                                    return_when=futures.FIRST_COMPLETED)
             for fut in done:
-                if collect(fut, inflight.pop(fut)[0]):
+                if collect(fut, inflight.pop(fut)):
                     rebuild = True
             if rebuild or aborted:
                 continue
@@ -585,6 +628,10 @@ def _run_pool(specs, scale, default_cycles, pending, jobs, timeout, retries,
         _terminate_pool(pool)
 
 
+#: Monotone sweep sequence for telemetry sweep ids (unique per process).
+_sweep_seq = 0
+
+
 def run_specs(
     specs: list[RunSpec],
     scale: float,
@@ -596,6 +643,7 @@ def run_specs(
     backoff: float | None = None,
     fail_fast: bool | None = None,
     checkpoint: "SweepCheckpoint | str | None" = None,
+    telemetry=None,
 ) -> list[MachineResult]:
     """Simulate ``specs`` (in order) across up to ``jobs`` processes.
 
@@ -618,6 +666,10 @@ def run_specs(
             completed specs; matching records are recalled instead of
             re-simulated, and every fresh result is appended.  None reads
             ``REPRO_CHECKPOINT`` (default: no journal).
+        telemetry: A :mod:`repro.core.telemetry` recorder (or an event-log
+            path) receiving per-spec JSONL lifecycle events; None reads
+            ``REPRO_TELEMETRY`` (default: telemetry off).  Observability
+            only — results are bit-identical either way.
 
     Returns:
         One :class:`MachineResult` per spec, bit-for-bit identical to a
@@ -646,6 +698,14 @@ def run_specs(
         checkpoint = SweepCheckpoint.from_env()
     elif isinstance(checkpoint, (str, os.PathLike)):
         checkpoint = SweepCheckpoint(str(checkpoint))
+    telem = as_recorder(telemetry)
+
+    global _sweep_seq
+    _sweep_seq += 1
+    sweep = f"{os.getpid()}-{_sweep_seq}"
+    sweep_t0 = time.monotonic()
+    telem.emit("sweep_start", sweep=sweep, n_specs=len(specs), jobs=jobs,
+               scale=scale, default_cycles=default_cycles)
 
     results: list[MachineResult | None] = [None] * len(specs)
     keys = [s.key(scale, default_cycles) for s in specs]
@@ -655,22 +715,45 @@ def run_specs(
             prior = recorded.get(checkpoint.digest(key))
             if prior is not None:
                 results[i] = prior
+        if telem.enabled:
+            recalled = [i for i, r in enumerate(results) if r is not None]
+            if recalled:
+                telem.emit("checkpoint_resume", sweep=sweep,
+                           recalled=len(recalled))
+                for i in recalled:
+                    telem.emit("spec_finished", sweep=sweep, index=i,
+                               attempts=0, source="checkpoint", wall_s=0.0)
     pending = [i for i, r in enumerate(results) if r is None]
-    if not pending:
-        return results  # type: ignore[return-value]
+
+    def sweep_end() -> None:
+        telem.emit("sweep_end", sweep=sweep,
+                   completed=sum(1 for r in results if r is not None),
+                   failed=len(failures),
+                   wall_s=round(time.monotonic() - sweep_t0, 6))
 
     failures: dict[int, SpecFailure] = {}
-    attempts = {i: 0 for i in pending}
+    if not pending:
+        sweep_end()
+        return results  # type: ignore[return-value]
 
-    def finish(i: int, result: MachineResult) -> None:
+    attempts = {i: 0 for i in pending}
+    if telem.enabled:
+        for i in pending:
+            telem.emit("spec_queued", sweep=sweep, index=i)
+
+    def finish(i: int, result: MachineResult, wall: float) -> None:
         results[i] = result
         if checkpoint is not None:
             checkpoint.record(keys[i], result)
+        telem.emit("spec_finished", sweep=sweep, index=i,
+                   attempts=attempts[i], source="simulated",
+                   wall_s=round(wall, 6))
 
     if jobs > 1 and len(pending) > 1:
         try:
             _run_pool(specs, scale, default_cycles, pending, jobs, timeout,
-                      retries, backoff, fail_fast, attempts, failures, finish)
+                      retries, backoff, fail_fast, attempts, failures,
+                      finish, telem, sweep)
         except _PoolUnavailable:
             # No usable multiprocessing (sandboxed /dev/shm, fork
             # limits...): degrade to the serial path, retries intact.
@@ -679,11 +762,13 @@ def run_specs(
             remaining = [i for i in pending
                          if results[i] is None and i not in failures]
             _run_serial(specs, scale, default_cycles, remaining, retries,
-                        backoff, fail_fast, attempts, failures, finish)
+                        backoff, fail_fast, attempts, failures, finish,
+                        telem, sweep)
     else:
         _run_serial(specs, scale, default_cycles, pending, retries, backoff,
-                    fail_fast, attempts, failures, finish)
+                    fail_fast, attempts, failures, finish, telem, sweep)
 
+    sweep_end()
     if failures:
         raise SweepError(sorted(failures.values(), key=lambda f: f.index),
                          results)

@@ -14,7 +14,10 @@ per-spec ``timeout``, bounded ``retries``, ``fail_fast``, and a
 :func:`repro.core.parallel.run_specs`; left at None they read the
 ``REPRO_TIMEOUT`` / ``REPRO_RETRIES`` / ``REPRO_FAIL_FAST`` /
 ``REPRO_CHECKPOINT`` environment defaults, so one CLI flag reaches every
-grid (see DESIGN.md §6).
+grid (see DESIGN.md §6).  A ``telemetry`` recorder (default:
+``REPRO_TELEMETRY``) receives per-spec JSONL lifecycle events for the
+whole grid — observability only, results are identical either way
+(DESIGN.md §7).
 """
 
 from __future__ import annotations
@@ -47,6 +50,7 @@ def cache_size_sweep(
     retries: int | None = None,
     fail_fast: bool | None = None,
     checkpoint=None,
+    telemetry=None,
 ) -> list[SweepPoint]:
     """Fig. 6 sweep: saturated throughput vs. shared-L2 size on the FC CMP.
 
@@ -71,7 +75,7 @@ def cache_size_sweep(
     results = exp.run_many(
         [RunSpec(config, kind) for config in configs], jobs=jobs,
         timeout=timeout, retries=retries, fail_fast=fail_fast,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, telemetry=telemetry)
     return [SweepPoint(x=size, result=result)
             for size, result in zip(sizes_mb, results)]
 
@@ -86,6 +90,7 @@ def core_count_sweep(
     retries: int | None = None,
     fail_fast: bool | None = None,
     checkpoint=None,
+    telemetry=None,
 ) -> list[SweepPoint]:
     """Fig. 8 sweep: saturated throughput vs. core count at a fixed 16 MB
     shared L2 on the FC CMP."""
@@ -96,7 +101,7 @@ def core_count_sweep(
     results = exp.run_many(
         [RunSpec(config, kind) for config in configs], jobs=jobs,
         timeout=timeout, retries=retries, fail_fast=fail_fast,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, telemetry=telemetry)
     return [SweepPoint(x=float(n), result=result)
             for n, result in zip(core_counts, results)]
 
@@ -111,6 +116,7 @@ def client_count_sweep(
     retries: int | None = None,
     fail_fast: bool | None = None,
     checkpoint=None,
+    telemetry=None,
 ) -> list[SweepPoint]:
     """Fig. 2 sweep: throughput vs. concurrent clients on the FC CMP.
 
@@ -122,7 +128,7 @@ def client_count_sweep(
         [RunSpec(config, kind, "saturated", n_clients=n)
          for n in client_counts],
         jobs=jobs, timeout=timeout, retries=retries, fail_fast=fail_fast,
-        checkpoint=checkpoint,
+        checkpoint=checkpoint, telemetry=telemetry,
     )
     return [SweepPoint(x=float(n), result=result)
             for n, result in zip(client_counts, results)]

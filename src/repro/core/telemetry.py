@@ -1,0 +1,403 @@
+"""Structured, opt-in run telemetry: JSONL events + sweep aggregation.
+
+The paper instruments a DBMS until every cycle is attributed; this module
+applies the same discipline to the harness itself.  When enabled (the
+``REPRO_TELEMETRY`` knob or the CLI ``--telemetry DIR`` flag), the sweep
+executor, the experiment cache layers, and the pool workers append one
+JSON object per line to a shared event log, and :func:`summarize` folds
+the log into the questions an operator actually asks: where did the wall
+time of a sweep go (p50/p95 spec latency, worker utilization), how often
+did recovery machinery fire (retries, faults, crashes), and where did
+each result come from (simulated, checkpoint recall, memo, disk cache —
+including the salvage path after a :class:`~repro.core.parallel.SweepError`).
+
+Design constraints, locked down by ``tests/test_telemetry*.py``:
+
+- **Transparency.**  Telemetry observes, never steers: with the knob
+  unset every hook is an inert no-op (:data:`NULL_RECORDER`), and with it
+  set, results remain bit-for-bit identical — the recorder only ever
+  *reads* simulation outputs.  ``CODE_VERSION`` is untouched by this
+  subsystem.
+- **Atomic appends.**  Every event is one ``os.write`` on an
+  ``O_APPEND`` descriptor, so concurrent writers (the sweep scheduler in
+  the parent, ``spec_exec`` events from pool workers) never interleave
+  partial lines.  A reader tolerates a truncated tail the same way the
+  sweep checkpoint does.
+- **Best-effort.**  An unwritable log costs observability, never
+  correctness: write failures count in ``dropped`` and are otherwise
+  swallowed.
+- **Monotonic time only.**  Event timestamps and all recorded durations
+  come from monotonic clocks; wall-clock time never enters a delta.
+
+Event schema (:data:`EVENT_SCHEMA`): every event carries the envelope
+``ev`` (type), ``t`` (``time.monotonic()`` seconds; on Linux comparable
+across the processes of one sweep), and ``pid``; per-type payload fields
+are listed in the schema table and validated by :func:`validate_event`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TelemetryRecorder",
+    "as_recorder",
+    "format_summary",
+    "load_events",
+    "percentile",
+    "recorder_from_env",
+    "summarize",
+    "telemetry_path",
+    "validate_event",
+]
+
+#: Default log filename when ``REPRO_TELEMETRY``/``--telemetry`` names a
+#: directory rather than a ``.jsonl`` file.
+DEFAULT_LOG_NAME = "telemetry.jsonl"
+
+#: Envelope fields present on every event.
+ENVELOPE_FIELDS = ("ev", "t", "pid")
+
+#: The documented event schema: ``ev`` -> (required fields, optional
+#: fields), beyond the envelope.  ``validate_event`` enforces exactly
+#: this — unknown event types or stray fields are schema violations, so
+#: the log stays a contract rather than a junk drawer.
+EVENT_SCHEMA: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    # One sweep = one run_specs call.
+    "sweep_start": (("sweep", "n_specs", "jobs", "scale",
+                     "default_cycles"), ()),
+    "sweep_end": (("sweep", "completed", "failed", "wall_s"), ()),
+    # Checkpoint journal recalls performed before scheduling.
+    "checkpoint_resume": (("sweep", "recalled"), ()),
+    # Per-spec lifecycle, in scheduling order.
+    "spec_queued": (("sweep", "index"), ()),
+    "spec_started": (("sweep", "index", "attempt"), ()),
+    # Emitted by the executing process (a pool worker or the serial
+    # fallback); ``profile`` is the simulator probe snapshot.
+    "spec_exec": (("sweep", "index", "attempt", "wall_s"), ("profile",)),
+    "spec_retry": (("sweep", "index", "attempt", "kind", "message"), ()),
+    "spec_finished": (("sweep", "index", "attempts", "source", "wall_s"),
+                      ()),
+    "spec_failed": (("sweep", "index", "kind", "attempts", "message"), ()),
+    # Result-cache provenance; ``source`` attributes the call site
+    # ("run", "sweep", "salvage", ...), which the plain
+    # ``ResultCache.stats()`` totals cannot.
+    "cache_hit": (("source",), ("index",)),
+    "cache_miss": (("source",), ("index",)),
+    "cache_store": (("source",), ("index",)),
+}
+
+#: ``spec_finished.source`` values.
+FINISH_SOURCES = ("simulated", "checkpoint")
+
+
+def telemetry_path(target: str) -> str:
+    """Resolve a CLI/env target to the event-log path.
+
+    A target ending in ``.jsonl`` is used verbatim; anything else is
+    treated as a directory holding :data:`DEFAULT_LOG_NAME`.
+    """
+    target = str(target)
+    if target.endswith(".jsonl"):
+        return target
+    return os.path.join(target, DEFAULT_LOG_NAME)
+
+
+class NullRecorder:
+    """The disabled recorder: inert, branch-free call sites.
+
+    Instrumentation calls ``recorder.emit(...)`` unconditionally; with
+    this implementation that is a no-op method call, so the disabled
+    path needs no ``if telemetry:`` checks and cannot diverge from the
+    enabled path's control flow.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+    path = None
+
+    def emit(self, ev: str, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared inert instance.
+NULL_RECORDER = NullRecorder()
+
+
+class TelemetryRecorder:
+    """Append-only JSONL event writer (one atomic ``write`` per event).
+
+    Safe for many processes appending to one file: the descriptor is
+    opened ``O_APPEND`` and each event is serialized to a single line
+    written in one syscall.  Writes are best-effort — failures increment
+    ``dropped`` and never raise (an unwritable log must not fail a
+    sweep).
+    """
+
+    __slots__ = ("path", "dropped", "_fd")
+
+    enabled = True
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.dropped = 0
+        self._fd: int | None = None
+
+    def emit(self, ev: str, **fields) -> None:
+        record = {"ev": ev, "t": round(time.monotonic(), 6),
+                  "pid": os.getpid(), **fields}
+        try:
+            line = json.dumps(record, separators=(",", ":"),
+                              sort_keys=True) + "\n"
+            if self._fd is None:
+                parent = os.path.dirname(os.path.abspath(self.path))
+                os.makedirs(parent, exist_ok=True)
+                self._fd = os.open(
+                    self.path,
+                    os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            os.write(self._fd, line.encode("utf-8"))
+        except (OSError, TypeError, ValueError):
+            self.dropped += 1
+
+    def close(self) -> None:
+        if self._fd is not None:
+            try:
+                os.close(self._fd)
+            except OSError:
+                pass
+            self._fd = None
+
+
+def recorder_from_env() -> "TelemetryRecorder | NullRecorder":
+    """The recorder named by ``REPRO_TELEMETRY``, or :data:`NULL_RECORDER`."""
+    target = os.environ.get("REPRO_TELEMETRY", "").strip()
+    if not target:
+        return NULL_RECORDER
+    return TelemetryRecorder(telemetry_path(target))
+
+
+def as_recorder(telemetry) -> "TelemetryRecorder | NullRecorder":
+    """Coerce a knob value into a recorder.
+
+    ``None`` consults the environment; a string/path becomes a
+    :class:`TelemetryRecorder`; an existing recorder (including the null
+    one) passes through.
+    """
+    if telemetry is None:
+        return recorder_from_env()
+    if isinstance(telemetry, (str, os.PathLike)):
+        return TelemetryRecorder(telemetry_path(str(telemetry)))
+    return telemetry
+
+
+#: Per-process recorder cache for pool workers, keyed by log path: a
+#: worker executes many specs but should hold one descriptor.
+_worker_recorders: dict[str, TelemetryRecorder] = {}
+
+
+def worker_recorder(path: str | None):
+    """The (cached) recorder a pool worker should emit through."""
+    if not path:
+        return NULL_RECORDER
+    rec = _worker_recorders.get(path)
+    if rec is None:
+        rec = _worker_recorders[path] = TelemetryRecorder(path)
+    return rec
+
+
+# ---------------------------------------------------------------------- #
+# Reading and validating                                                  #
+# ---------------------------------------------------------------------- #
+
+def validate_event(event: dict) -> None:
+    """Raise ``ValueError`` unless ``event`` matches :data:`EVENT_SCHEMA`."""
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be an object, got {type(event).__name__}")
+    ev = event.get("ev")
+    if ev not in EVENT_SCHEMA:
+        raise ValueError(f"unknown event type {ev!r}")
+    for field in ENVELOPE_FIELDS:
+        if field not in event:
+            raise ValueError(f"{ev}: missing envelope field {field!r}")
+    if not isinstance(event["t"], (int, float)):
+        raise ValueError(f"{ev}: 't' must be numeric")
+    if not isinstance(event["pid"], int):
+        raise ValueError(f"{ev}: 'pid' must be an int")
+    required, optional = EVENT_SCHEMA[ev]
+    for field in required:
+        if field not in event:
+            raise ValueError(f"{ev}: missing required field {field!r}")
+    allowed = set(ENVELOPE_FIELDS) | set(required) | set(optional)
+    extra = set(event) - allowed
+    if extra:
+        raise ValueError(f"{ev}: unexpected fields {sorted(extra)}")
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a JSONL event log, keeping every complete line.
+
+    A killed process can leave a truncated final line; like the sweep
+    checkpoint, the reader keeps everything before it.  Missing files
+    read as empty logs.
+    """
+    events: list[dict] = []
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return events
+    with fh:
+        for line in fh:
+            if not line.endswith("\n"):
+                break  # truncated tail
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # one mangled line must not hide the rest
+            if isinstance(record, dict):
+                events.append(record)
+    return events
+
+
+# ---------------------------------------------------------------------- #
+# Aggregation                                                             #
+# ---------------------------------------------------------------------- #
+
+def percentile(values: list[float], pct: float) -> float:
+    """Nearest-rank percentile (the hand-checkable definition).
+
+    ``percentile(v, 50)`` of ``[1, 2, 3, 4]`` is 2 (rank ``ceil(0.5*4)``),
+    of ``[1, 2, 3]`` is 2.  Empty input returns 0.0.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def summarize(events: list[dict]) -> dict:
+    """Fold an event log into the sweep summary.
+
+    Returns a plain dict (JSON-ready) with:
+
+    - ``sweeps``/``specs``/``simulated``/``checkpoint_recalled``/
+      ``failed`` counts,
+    - ``retries`` total plus ``retry_kinds`` (error/crash/timeout),
+    - ``spec_wall_p50``/``spec_wall_p95`` over simulated spec latencies,
+    - ``busy_s`` (Σ simulated spec wall), ``capacity_s`` (Σ sweep wall ×
+      jobs), and their ratio ``worker_utilization``,
+    - ``accesses`` and ``accesses_per_sec`` from worker profile
+      snapshots,
+    - ``cache`` totals and per-call-site ``cache_by_source``.
+    """
+    jobs_by_sweep: dict[str, int] = {}
+    sweep_wall: dict[str, float] = {}
+    finished_wall: list[float] = []
+    retry_kinds: dict[str, int] = {}
+    cache_total = {"hits": 0, "misses": 0, "stores": 0}
+    cache_by_source: dict[str, dict[str, int]] = {}
+    counts = {"sweeps": 0, "specs": 0, "simulated": 0,
+              "checkpoint_recalled": 0, "failed": 0, "retries": 0}
+    accesses = 0
+    exec_wall = 0.0
+    for event in events:
+        ev = event.get("ev")
+        if ev == "sweep_start":
+            counts["sweeps"] += 1
+            jobs_by_sweep[event.get("sweep", "?")] = int(
+                event.get("jobs", 1))
+        elif ev == "sweep_end":
+            sweep_wall[event.get("sweep", "?")] = float(
+                event.get("wall_s", 0.0))
+        elif ev == "spec_finished":
+            counts["specs"] += 1
+            if event.get("source") == "checkpoint":
+                counts["checkpoint_recalled"] += 1
+            else:
+                counts["simulated"] += 1
+                finished_wall.append(float(event.get("wall_s", 0.0)))
+        elif ev == "spec_failed":
+            counts["specs"] += 1
+            counts["failed"] += 1
+        elif ev == "spec_retry":
+            counts["retries"] += 1
+            kind = str(event.get("kind", "?"))
+            retry_kinds[kind] = retry_kinds.get(kind, 0) + 1
+        elif ev == "spec_exec":
+            exec_wall += float(event.get("wall_s", 0.0))
+            profile = event.get("profile") or {}
+            counters = profile.get("counters") or {}
+            accesses += int(counters.get("data_accesses", 0))
+        elif ev in ("cache_hit", "cache_miss", "cache_store"):
+            bucket = {"cache_hit": "hits", "cache_miss": "misses",
+                      "cache_store": "stores"}[ev]
+            cache_total[bucket] += 1
+            source = str(event.get("source", "?"))
+            per = cache_by_source.setdefault(
+                source, {"hits": 0, "misses": 0, "stores": 0})
+            per[bucket] += 1
+    busy = sum(finished_wall)
+    capacity = sum(
+        wall * jobs_by_sweep.get(sweep, 1)
+        for sweep, wall in sweep_wall.items())
+    summary = dict(counts)
+    summary["retry_kinds"] = retry_kinds
+    summary["spec_wall_p50"] = round(percentile(finished_wall, 50), 6)
+    summary["spec_wall_p95"] = round(percentile(finished_wall, 95), 6)
+    summary["busy_s"] = round(busy, 6)
+    summary["capacity_s"] = round(capacity, 6)
+    summary["worker_utilization"] = (
+        round(busy / capacity, 4) if capacity > 0 else 0.0)
+    summary["accesses"] = accesses
+    summary["accesses_per_sec"] = (
+        round(accesses / exec_wall, 3) if exec_wall > 0 else 0.0)
+    summary["cache"] = cache_total
+    summary["cache_by_source"] = cache_by_source
+    return summary
+
+
+def format_summary(summary: dict) -> str:
+    """Render a :func:`summarize` dict as the ``repro stats`` report."""
+    from .reporting import format_table
+
+    lines = [
+        f"sweeps:             {summary['sweeps']}",
+        f"specs:              {summary['specs']} "
+        f"(simulated {summary['simulated']}, "
+        f"checkpoint {summary['checkpoint_recalled']}, "
+        f"failed {summary['failed']})",
+        f"retries:            {summary['retries']}"
+        + (f"  {summary['retry_kinds']}" if summary["retry_kinds"] else ""),
+        f"spec wall p50/p95:  {summary['spec_wall_p50']:.3f}s / "
+        f"{summary['spec_wall_p95']:.3f}s",
+        f"worker utilization: {summary['worker_utilization']:.1%} "
+        f"(busy {summary['busy_s']:.2f}s of "
+        f"{summary['capacity_s']:.2f}s capacity)",
+        f"accesses:           {summary['accesses']} "
+        f"({summary['accesses_per_sec']:g}/s simulated)",
+    ]
+    cache_rows = [
+        [source, per["hits"], per["misses"], per["stores"]]
+        for source, per in sorted(summary["cache_by_source"].items())
+    ]
+    total = summary["cache"]
+    if cache_rows:
+        cache_rows.append(
+            ["total", total["hits"], total["misses"], total["stores"]])
+        lines.append("")
+        lines.append(format_table(
+            ["cache source", "hits", "misses", "stores"], cache_rows))
+    return "\n".join(lines)

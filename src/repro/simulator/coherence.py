@@ -282,6 +282,17 @@ class PrivateL2Hierarchy:
         for c in self._l2:
             c.stats.reset()
 
+    def observe(self, probe, elapsed: float) -> None:
+        """Report coherence-path pressure into a profiling probe.
+
+        The SMP has no shared banked L2, so instead of port occupancy it
+        reports the directory traffic the CMP converts into on-chip
+        transfers (Fig. 7's comparison).  Called once per run.
+        """
+        probe.count("coherence_misses", self.stats.coherence_misses)
+        probe.count("l2_queue_delay", self.stats.l2_queue_delay)
+        probe.count("l2_queued_accesses", self.stats.l2_queued_accesses)
+
     @property
     def l2_caches(self) -> list[SetAssocCache]:
         """The per-node private L2 instances (for tests)."""

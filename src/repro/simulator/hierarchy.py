@@ -389,6 +389,23 @@ class SharedL2Hierarchy:
         for c in self._l1d:
             c.stats.reset()
 
+    def observe(self, probe, elapsed: float) -> None:
+        """Report L2 port pressure into a profiling probe (read-only).
+
+        ``l2_port_occupancy`` is the fraction of aggregate bank-cycles the
+        window's L2 accesses occupied — the Fig. 8 contention signal as a
+        single gauge.  Called once per run, never from the access path.
+        """
+        p = self.params
+        stats = self.stats
+        probe.count("l2_queue_delay", stats.l2_queue_delay)
+        probe.count("l2_queued_accesses", stats.l2_queued_accesses)
+        probe.count("prefetch_covered", stats.prefetch_covered)
+        if elapsed > 0:
+            busy = self.l2.stats.accesses * p.l2_occupancy
+            probe.gauge("l2_port_occupancy",
+                        busy / (p.l2_banks * elapsed))
+
     @property
     def l1d_caches(self) -> list[SetAssocCache]:
         """The per-core L1D instances (for tests and counters)."""

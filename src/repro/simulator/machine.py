@@ -23,6 +23,7 @@ from .breakdown import Breakdown
 from .coherence import PrivateL2Hierarchy
 from .cores import CoreParams, FatCore, LeanCore
 from .hierarchy import HierarchyParams, HierarchyStats, SharedL2Hierarchy
+from .profiling import NULL_PROBE
 from .trace import Trace, Workload
 
 #: Default measurement window in cycles (the paper measures 50k-cycle
@@ -205,6 +206,7 @@ class Machine:
         measure_cycles: float = DEFAULT_MEASURE_CYCLES,
         warm_passes: int = 1,
         warm_fraction: float = 0.5,
+        probe=NULL_PROBE,
     ) -> MachineResult:
         """Warm, then measure the workload on this machine.
 
@@ -218,6 +220,11 @@ class Machine:
                 throughput mode; measurement starts at that offset so the
                 cold secondary working set stays cold.  Response mode
                 warms the whole trace and measures one full pass.
+            probe: A :mod:`repro.simulator.profiling` probe recording
+                phase wall-times and simulator event counts.  The default
+                :data:`~repro.simulator.profiling.NULL_PROBE` is inert;
+                probes only observe and never feed back into timing, so
+                the result is identical either way.
 
         Returns:
             A :class:`MachineResult`.
@@ -253,7 +260,15 @@ class Machine:
             warm_len_of = offset_of
         self._build_cores(slots, offset_of)
         if warm_passes:
+            probe.phase_start("warm")
             self._warm(slots, warm_passes, warm_len_of)
+            probe.phase_end("warm")
+            if probe.enabled:
+                probe.count(
+                    "warm_refs",
+                    warm_passes * sum(warm_len_of(tr)
+                                      for tr in workload.traces))
+        probe.phase_start("measure")
         if mode == "response":
             response = self._run_response()
             elapsed = response
@@ -261,6 +276,7 @@ class Machine:
             response = None
             elapsed = float(measure_cycles)
             self._run_throughput(elapsed)
+        probe.phase_end("measure")
         active = [c for c in self._cores if c.retired > 0 or
                   any(ctx.trace is not None for ctx in c.contexts)]
         per_core = [c.breakdown for c in active]
@@ -274,6 +290,13 @@ class Machine:
             for core in active for ctx in core.contexts
             if ctx.trace is not None
         ]
+        if probe.enabled:
+            probe.count("data_accesses", self.hierarchy.stats.data_accesses)
+            probe.count("instr_blocks", self.hierarchy.stats.instr_blocks)
+            probe.gauge("retired", retired)
+            probe.gauge("elapsed_cycles", elapsed)
+            probe.gauge("active_cores", len(active))
+            self.hierarchy.observe(probe, elapsed)
         return MachineResult(
             config_name=self.config.name,
             workload_name=workload.name,

@@ -1,0 +1,190 @@
+"""The perf-regression bench harness: schema, clocks, provenance.
+
+``repro bench`` writes one ``BENCH_*.json`` snapshot per PR; its value
+is entirely in being comparable over time, so these tests pin the
+contract rather than any timing number:
+
+- the record validates against the documented schema, with the three
+  modes (serial, parallel-cold, parallel-warm) in order;
+- all recorded durations come from monotonic clocks — the wall clock
+  (``time.time``) is poisoned for an entire run and nothing notices;
+- the warm run proves the cache worked: zero simulations, every spec a
+  disk hit, with per-source provenance from telemetry.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import bench
+from repro.core.bench import (
+    BENCH_MODES,
+    BENCH_SCHEMA,
+    format_bench,
+    run_bench,
+    validate_bench,
+)
+from repro.core.parallel import CODE_VERSION
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    for var in ("REPRO_TELEMETRY", "REPRO_FAULTS", "REPRO_RETRIES",
+                "REPRO_TIMEOUT", "REPRO_BACKOFF", "REPRO_FAIL_FAST",
+                "REPRO_CHECKPOINT", "REPRO_JOBS", "REPRO_CACHE_DIR"):
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+@pytest.fixture(scope="module")
+def quick_record(tmp_path_factory):
+    """One shared --quick bench run (the expensive part) for this module."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_TEST.json"
+    record = run_bench(quick=True, out_path=str(out))
+    return record, out
+
+
+@pytest.mark.slow
+class TestQuickBench:
+    def test_writes_schema_valid_json(self, quick_record):
+        record, out = quick_record
+        assert out.exists()
+        on_disk = json.loads(out.read_text())
+        validate_bench(on_disk)
+        assert on_disk == json.loads(json.dumps(record))  # same snapshot
+        assert on_disk["schema"] == BENCH_SCHEMA
+        assert on_disk["code_version"] == CODE_VERSION
+        assert on_disk["config"]["quick"] is True
+
+    def test_modes_in_contract_order(self, quick_record):
+        record, _ = quick_record
+        assert [r["mode"] for r in record["runs"]] == list(BENCH_MODES)
+        for run in record["runs"]:
+            assert run["wall_seconds"] >= 0
+            assert run["specs"] == len(record["config"]["sizes_mb"]) * len(
+                record["config"]["kinds"])
+
+    def test_warm_run_is_fully_cache_served(self, quick_record):
+        record, _ = quick_record
+        cold, warm = record["runs"][1], record["runs"][2]
+        assert cold["simulated"] == warm["specs"]
+        assert warm["simulated"] == 0
+        assert warm["cache"]["hits"] >= warm["specs"]
+        # Provenance: telemetry attributes every warm hit to the sweep
+        # lookup path, and every cold store likewise.
+        assert warm["cache_by_source"]["sweep"]["hits"] >= warm["specs"]
+        assert cold["cache_by_source"]["sweep"]["stores"] == cold["specs"]
+
+    def test_serial_and_parallel_measure_the_same_work(self, quick_record):
+        record, _ = quick_record
+        serial, cold = record["runs"][0], record["runs"][1]
+        # Determinism: both paths simulate identical accesses.
+        assert serial["accesses"] == cold["accesses"] > 0
+        assert serial["cache"] is None  # serial mode is the pure baseline
+
+    def test_format_bench_renders(self, quick_record):
+        record, _ = quick_record
+        text = format_bench(record)
+        for mode in BENCH_MODES:
+            assert mode in text
+
+
+@pytest.mark.slow
+def test_monotonic_clocks_only(clean_env, monkeypatch):
+    """Poison the wall clock for a whole run: every recorded duration
+    must come from time.monotonic/perf_counter, so nothing breaks."""
+    def _no_wall_clock():
+        raise AssertionError("bench harness read the wall clock")
+
+    monkeypatch.setattr(time, "time", _no_wall_clock)
+    record = run_bench(quick=True, out_path=None)
+    validate_bench(record)
+
+
+class TestValidateBench:
+    def _minimal(self):
+        run = {"mode": "serial", "wall_seconds": 1.0, "specs": 3,
+               "simulated": 3, "accesses": 100, "accesses_per_sec": 100.0,
+               "cache": None}
+        warm_cache = {"hits": 3, "misses": 0, "stores": 0, "errors": 0}
+        return {
+            "schema": BENCH_SCHEMA,
+            "code_version": CODE_VERSION,
+            "commit": None,
+            "python": "3.x",
+            "platform": "test",
+            "config": {"scale": 0.01, "measure_cycles": 5000,
+                       "sizes_mb": [1.0], "kinds": ["dss"], "jobs": 2,
+                       "quick": True},
+            "runs": [
+                dict(run),
+                dict(run, mode="parallel-cold",
+                     cache={"hits": 0, "misses": 3, "stores": 3,
+                            "errors": 0}),
+                dict(run, mode="parallel-warm", simulated=0,
+                     cache=warm_cache),
+            ],
+        }
+
+    def test_minimal_record_passes(self):
+        validate_bench(self._minimal())
+
+    def test_rejects_wrong_schema(self):
+        record = self._minimal()
+        record["schema"] = "repro-bench-v0"
+        with pytest.raises(ValueError, match="schema"):
+            validate_bench(record)
+
+    def test_rejects_wrong_mode_order(self):
+        record = self._minimal()
+        record["runs"].reverse()
+        with pytest.raises(ValueError, match="in order"):
+            validate_bench(record)
+
+    def test_rejects_negative_wall(self):
+        record = self._minimal()
+        record["runs"][0]["wall_seconds"] = -0.5
+        with pytest.raises(ValueError, match="non-negative"):
+            validate_bench(record)
+
+    def test_rejects_unwarmed_warm_run(self):
+        record = self._minimal()
+        record["runs"][2]["simulated"] = 1  # warm run re-simulated
+        with pytest.raises(ValueError, match="result\\s+cache"):
+            validate_bench(record)
+
+    def test_rejects_missing_config_field(self):
+        record = self._minimal()
+        del record["config"]["jobs"]
+        with pytest.raises(ValueError, match="config missing"):
+            validate_bench(record)
+
+
+@pytest.mark.slow
+def test_cli_and_standalone_entry_points(clean_env, tmp_path, capsys):
+    """``repro bench --quick`` and ``benchmarks/bench_harness.py`` drive
+    the same engine and write the same schema."""
+    import sys
+
+    from repro.cli import main as cli_main
+
+    sys.path.insert(0, "benchmarks")
+    try:
+        from bench_harness import main as standalone_main
+    finally:
+        sys.path.pop(0)
+
+    cli_out = tmp_path / "BENCH_CLI.json"
+    assert cli_main(["bench", "--quick",
+                     "--bench-out", str(cli_out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    validate_bench(json.loads(cli_out.read_text()))
+
+    sa_out = tmp_path / "BENCH_SA.json"
+    assert standalone_main(["--quick", "--out", str(sa_out)]) == 0
+    validate_bench(json.loads(sa_out.read_text()))
+
+
+def test_default_out_is_repo_root_snapshot():
+    assert bench.DEFAULT_OUT == "BENCH_PR3.json"

@@ -1,0 +1,375 @@
+"""The telemetry subsystem: schema, overhead, aggregation, atomicity.
+
+Four invariants keep the observability layer trustworthy:
+
+- every emitted event validates against the documented ``EVENT_SCHEMA``
+  (the log is a contract, not a junk drawer);
+- the enabled path adds only bounded overhead to a sweep (no accidental
+  per-access work in hot loops);
+- aggregation math (nearest-rank percentiles, worker utilization, cache
+  provenance) matches hand-computed fixtures;
+- concurrent writers — the sweep scheduler plus pool workers — never
+  interleave corrupt lines (one atomic append per event).
+
+The per-source cache attribution regression (salvage stores after a
+``SweepError`` were previously indistinguishable from normal stores) is
+locked down here too.
+"""
+
+import json
+import os
+from concurrent import futures
+
+import pytest
+
+from repro.core import telemetry
+from repro.core.experiment import Experiment
+from repro.core.parallel import RunSpec, SweepError, run_specs
+from repro.core.telemetry import (
+    EVENT_SCHEMA,
+    NULL_RECORDER,
+    TelemetryRecorder,
+    as_recorder,
+    load_events,
+    percentile,
+    summarize,
+    telemetry_path,
+    validate_event,
+)
+from repro.simulator.configs import fc_cmp
+
+SCALE = 0.01
+CYCLES = 5_000
+
+
+def _specs(n: int = 3) -> list[RunSpec]:
+    return [
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=mb, scale=SCALE), "dss")
+        for mb in (1.0, 2.0, 4.0, 8.0)[:n]
+    ]
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    for var in ("REPRO_TELEMETRY", "REPRO_FAULTS", "REPRO_RETRIES",
+                "REPRO_TIMEOUT", "REPRO_BACKOFF", "REPRO_FAIL_FAST",
+                "REPRO_CHECKPOINT", "REPRO_JOBS", "REPRO_CACHE_DIR"):
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+def _event(ev: str, **fields) -> dict:
+    return {"ev": ev, "t": 1.0, "pid": 42, **fields}
+
+
+# ---------------------------------------------------------------------- #
+# Recorder plumbing                                                       #
+# ---------------------------------------------------------------------- #
+
+class TestRecorderPlumbing:
+    def test_disabled_by_default(self, clean_env):
+        assert as_recorder(None) is NULL_RECORDER
+        assert not NULL_RECORDER.enabled
+        NULL_RECORDER.emit("sweep_start", anything="goes")  # inert no-op
+
+    def test_env_enables(self, clean_env, tmp_path):
+        clean_env.setenv("REPRO_TELEMETRY", str(tmp_path))
+        rec = as_recorder(None)
+        assert rec.enabled
+        assert rec.path == str(tmp_path / "telemetry.jsonl")
+
+    def test_path_resolution(self, tmp_path):
+        assert telemetry_path(str(tmp_path)) == str(
+            tmp_path / "telemetry.jsonl")
+        explicit = str(tmp_path / "custom.jsonl")
+        assert telemetry_path(explicit) == explicit
+
+    def test_emit_writes_one_valid_line_per_event(self, tmp_path):
+        rec = TelemetryRecorder(str(tmp_path / "t.jsonl"))
+        rec.emit("cache_hit", source="run")
+        rec.emit("cache_miss", source="sweep")
+        rec.close()
+        events = load_events(rec.path)
+        assert [e["ev"] for e in events] == ["cache_hit", "cache_miss"]
+        for event in events:
+            validate_event(event)
+
+    def test_unwritable_log_never_raises(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        rec = TelemetryRecorder(str(blocker / "t.jsonl"))
+        rec.emit("cache_hit", source="run")
+        assert rec.dropped == 1
+
+    def test_load_tolerates_truncated_tail_and_garbage(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        good = json.dumps(_event("cache_hit", source="run"))
+        with open(path, "w") as fh:
+            fh.write(good + "\n")
+            fh.write("not json at all\n")
+            fh.write(good + "\n")
+            fh.write('{"ev": "cache_mi')  # killed mid-append
+        events = load_events(str(path))
+        assert len(events) == 2
+        assert load_events(str(tmp_path / "missing.jsonl")) == []
+
+
+# ---------------------------------------------------------------------- #
+# Schema                                                                  #
+# ---------------------------------------------------------------------- #
+
+class TestEventSchema:
+    def test_every_sweep_event_validates(self, clean_env, tmp_path):
+        log = str(tmp_path / "t.jsonl")
+        run_specs(_specs(3), SCALE, CYCLES, jobs=2, telemetry=log)
+        events = load_events(log)
+        assert events, "an enabled sweep must emit events"
+        for event in events:
+            validate_event(event)
+        kinds = {e["ev"] for e in events}
+        assert {"sweep_start", "spec_queued", "spec_started",
+                "spec_exec", "spec_finished", "sweep_end"} <= kinds
+
+    def test_per_spec_lifecycle_is_complete(self, clean_env, tmp_path):
+        log = str(tmp_path / "t.jsonl")
+        run_specs(_specs(3), SCALE, CYCLES, jobs=1, telemetry=log)
+        events = load_events(log)
+        for index in range(3):
+            mine = [e for e in events if e.get("index") == index]
+            assert [e["ev"] for e in mine] == [
+                "spec_queued", "spec_started", "spec_exec", "spec_finished"]
+        finished = [e for e in events if e["ev"] == "spec_finished"]
+        assert all(e["source"] == "simulated" for e in finished)
+        assert all(e["wall_s"] >= 0 for e in finished)
+
+    def test_spec_exec_carries_profile_snapshot(self, clean_env, tmp_path):
+        log = str(tmp_path / "t.jsonl")
+        run_specs(_specs(1), SCALE, CYCLES, jobs=1, telemetry=log)
+        execs = [e for e in load_events(log) if e["ev"] == "spec_exec"]
+        assert len(execs) == 1
+        profile = execs[0]["profile"]
+        assert profile["phase_seconds"]["measure"] >= 0
+        assert profile["phase_seconds"]["warm"] >= 0
+        assert profile["counters"]["data_accesses"] > 0
+        assert profile["gauges"]["retired"] > 0
+        assert execs[0]["pid"] == os.getpid()  # jobs=1 runs in-process
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            validate_event(_event("spec_vanished"))
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(ValueError, match="missing required field"):
+            validate_event(_event("spec_queued", sweep="1-1"))  # no index
+
+    def test_stray_field_rejected(self):
+        with pytest.raises(ValueError, match="unexpected fields"):
+            validate_event(_event("cache_hit", source="run", vibes="good"))
+
+    def test_missing_envelope_rejected(self):
+        event = _event("cache_hit", source="run")
+        del event["pid"]
+        with pytest.raises(ValueError, match="envelope"):
+            validate_event(event)
+
+    def test_schema_documents_all_emitted_types(self):
+        # The schema table is the documentation; keep it covering the
+        # full event vocabulary (additions must extend it).
+        assert set(EVENT_SCHEMA) == {
+            "sweep_start", "sweep_end", "checkpoint_resume", "spec_queued",
+            "spec_started", "spec_exec", "spec_retry", "spec_finished",
+            "spec_failed", "cache_hit", "cache_miss", "cache_store"}
+
+
+# ---------------------------------------------------------------------- #
+# Aggregation math                                                        #
+# ---------------------------------------------------------------------- #
+
+class TestAggregation:
+    def test_percentile_nearest_rank(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+        assert percentile([4.0, 1.0, 3.0, 2.0], 95) == 4.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([], 50) == 0.0
+        # 20 values: p95 rank = ceil(0.95*20) = 19 -> the 19th smallest.
+        values = [float(i) for i in range(1, 21)]
+        assert percentile(values, 95) == 19.0
+
+    def test_summary_matches_hand_computed_fixture(self):
+        # One sweep, 2 workers, 10s wall.  Four specs: walls 1, 2, 3, 4
+        # simulated; one checkpoint recall; one failure after a retry.
+        events = [
+            _event("sweep_start", sweep="s", n_specs=6, jobs=2, scale=0.01,
+                   default_cycles=5000),
+            _event("checkpoint_resume", sweep="s", recalled=1),
+            _event("spec_finished", sweep="s", index=0, attempts=0,
+                   source="checkpoint", wall_s=0.0),
+        ]
+        for i, wall in enumerate([1.0, 2.0, 3.0, 4.0], start=1):
+            events.append(_event("spec_finished", sweep="s", index=i,
+                                 attempts=0, source="simulated",
+                                 wall_s=wall))
+        events += [
+            _event("spec_retry", sweep="s", index=5, attempt=1,
+                   kind="error", message="boom"),
+            _event("spec_failed", sweep="s", index=5, kind="error",
+                   attempts=2, message="boom"),
+            _event("cache_hit", source="sweep"),
+            _event("cache_store", source="sweep"),
+            _event("cache_store", source="salvage"),
+            _event("sweep_end", sweep="s", completed=5, failed=1,
+                   wall_s=10.0),
+        ]
+        for event in events:
+            validate_event(event)
+        summary = summarize(events)
+        assert summary["sweeps"] == 1
+        assert summary["specs"] == 6
+        assert summary["simulated"] == 4
+        assert summary["checkpoint_recalled"] == 1
+        assert summary["failed"] == 1
+        assert summary["retries"] == 1
+        assert summary["retry_kinds"] == {"error": 1}
+        # nearest-rank over [1, 2, 3, 4]: p50 -> 2, p95 -> 4.
+        assert summary["spec_wall_p50"] == 2.0
+        assert summary["spec_wall_p95"] == 4.0
+        # busy 10s over 2 workers x 10s wall = 50% utilization.
+        assert summary["busy_s"] == 10.0
+        assert summary["capacity_s"] == 20.0
+        assert summary["worker_utilization"] == 0.5
+        assert summary["cache"] == {"hits": 1, "misses": 0, "stores": 2}
+        assert summary["cache_by_source"]["salvage"]["stores"] == 1
+        # The report renders without error and names the salvage source.
+        assert "salvage" in telemetry.format_summary(summary)
+
+    def test_summary_of_empty_log(self):
+        summary = summarize([])
+        assert summary["specs"] == 0
+        assert summary["worker_utilization"] == 0.0
+        assert summary["spec_wall_p50"] == 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Overhead                                                                #
+# ---------------------------------------------------------------------- #
+
+@pytest.mark.slow
+def test_enabled_overhead_is_bounded(clean_env, tmp_path):
+    """Telemetry may cost a few events of I/O per spec, never hot-loop
+    work: an instrumented sweep stays within a generous factor of the
+    bare one (both in-process, workloads pre-built)."""
+    from time import perf_counter
+
+    specs = _specs(3)
+    run_specs(specs, SCALE, CYCLES, jobs=1)  # warm workload/trace caches
+
+    def timed(telemetry_arg):
+        t0 = perf_counter()
+        result = run_specs(specs, SCALE, CYCLES, jobs=1,
+                           telemetry=telemetry_arg)
+        return perf_counter() - t0, result
+
+    bare_wall, bare = timed(None)
+    telem_wall, telem = timed(str(tmp_path / "t.jsonl"))
+    assert telem == bare
+    # Generous bound: 2x + 0.5s absolute slack absorbs host noise while
+    # still catching accidental per-access instrumentation (which would
+    # be orders of magnitude, not percent).
+    assert telem_wall <= bare_wall * 2.0 + 0.5, (
+        f"telemetry overhead too high: {telem_wall:.3f}s vs "
+        f"{bare_wall:.3f}s bare")
+
+
+# ---------------------------------------------------------------------- #
+# Concurrent writers                                                      #
+# ---------------------------------------------------------------------- #
+
+def _hammer(args):
+    path, writer, n_events = args
+    rec = TelemetryRecorder(path)
+    payload = f"writer-{writer}-" + "x" * 512
+    for i in range(n_events):
+        rec.emit("cache_store", source=payload, index=i)
+    rec.close()
+    return writer
+
+
+@pytest.mark.slow
+def test_concurrent_writers_never_interleave(tmp_path):
+    """N processes hammering one log: every line must parse and every
+    event must arrive exactly once (O_APPEND + single-write atomicity)."""
+    path = str(tmp_path / "t.jsonl")
+    n_writers, n_events = 4, 200
+    try:
+        with futures.ProcessPoolExecutor(max_workers=n_writers) as pool:
+            list(pool.map(_hammer,
+                          [(path, w, n_events) for w in range(n_writers)]))
+    except (OSError, ValueError) as exc:
+        pytest.skip(f"no multiprocessing here: {exc}")
+    with open(path) as fh:
+        lines = fh.readlines()
+    assert len(lines) == n_writers * n_events
+    seen = set()
+    for line in lines:
+        event = json.loads(line)  # a torn line would fail to parse
+        validate_event(event)
+        seen.add((event["source"], event["index"]))
+    assert len(seen) == n_writers * n_events
+
+
+# ---------------------------------------------------------------------- #
+# Cache provenance (the salvage-attribution regression)                   #
+# ---------------------------------------------------------------------- #
+
+class TestCacheProvenance:
+    def test_run_and_sweep_sources_attributed(self, clean_env, tmp_path):
+        log = str(tmp_path / "t.jsonl")
+        spec = _specs(1)[0]
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                         cache_dir=str(tmp_path / "cache"), telemetry=log)
+        exp.run(spec.config, "dss")       # miss + store via the run path
+        exp2 = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                          cache_dir=str(tmp_path / "cache"), telemetry=log)
+        exp2.run_many([spec])             # disk hit via the sweep path
+        summary = summarize(load_events(log))
+        by_source = summary["cache_by_source"]
+        assert by_source["run"]["misses"] == 1
+        assert by_source["run"]["stores"] == 1
+        assert by_source["sweep"]["hits"] == 1
+
+    def test_salvage_stores_are_attributed(self, clean_env, tmp_path):
+        """Regression: after a SweepError, the completed results that
+        run_many salvages into the cache were indistinguishable from
+        ordinary stores in ``ResultCache.stats()``.  Telemetry must
+        attribute them to the salvage path."""
+        clean_env.setenv("REPRO_FAULTS", "exec@0x99")  # spec 0 never runs
+        log = str(tmp_path / "t.jsonl")
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                         cache_dir=str(tmp_path / "cache"), telemetry=log)
+        with pytest.raises(SweepError) as err:
+            exp.run_many(_specs(3), jobs=1, retries=1, backoff=0.0)
+        assert len(err.value.failures) == 1
+        events = load_events(log)
+        for event in events:
+            validate_event(event)
+        summary = summarize(events)
+        # The two completed specs were salvaged — and say so.
+        assert summary["cache_by_source"]["salvage"]["stores"] == 2
+        assert summary["failed"] == 1
+        assert summary["retries"] == 1
+        # The lump-sum cache counters still agree on the totals.
+        assert exp.cache_stats()["stores"] == 2
+
+    def test_prefetch_surfaces_telemetry_summary(self, clean_env, tmp_path):
+        log = str(tmp_path / "t.jsonl")
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                         use_cache=False, telemetry=log)
+        exp.prefetch(_specs(2), jobs=1)
+        summary = exp.telemetry_summary()
+        assert summary is not None
+        assert summary["simulated"] == 2
+        # Disabled experiments report no summary rather than an empty one.
+        bare = Experiment(scale=SCALE, measure_cycles=CYCLES,
+                          use_cache=False)
+        assert bare.telemetry_summary() is None
