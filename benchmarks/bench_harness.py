@@ -31,8 +31,13 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"output JSON path (default: {DEFAULT_OUT})")
     parser.add_argument("--jobs", type=int, default=None,
                         help="pool width for the parallel modes")
+    parser.add_argument("--compare", default=None, metavar="PATH",
+                        help="annotate timing deltas against an earlier "
+                             "BENCH_*.json snapshot (annotation only — a "
+                             "missing or old-schema baseline never fails)")
     args = parser.parse_args(argv)
-    record = run_bench(quick=args.quick, out_path=args.out, jobs=args.jobs)
+    record = run_bench(quick=args.quick, out_path=args.out, jobs=args.jobs,
+                       compare=args.compare)
     print(format_bench(record))
     print(f"wrote {args.out}")
     return 0

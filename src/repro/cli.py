@@ -128,17 +128,19 @@ def run_stats(target: str) -> int:
     return 0
 
 
-def run_bench_cmd(quick: bool, out_path: str) -> int:
+def run_bench_cmd(quick: bool, out_path: str | None,
+                  compare: str | None = None) -> int:
     """Time the pinned mini-sweep and write a ``BENCH_*.json`` snapshot."""
     from .core import bench
 
+    out = out_path or bench.DEFAULT_OUT
     try:
-        record = bench.run_bench(quick=quick, out_path=out_path)
+        record = bench.run_bench(quick=quick, out_path=out, compare=compare)
     except SweepError as err:
         print(f"bench: sweep failed — {err}", file=sys.stderr)
         return 1
     print(bench.format_bench(record))
-    print(f"wrote {out_path}")
+    print(f"wrote {out}")
     return 0
 
 
@@ -186,7 +188,11 @@ def main(argv: list[str] | None = None) -> int:
                              "(the CI configuration)")
     parser.add_argument("--bench-out", metavar="PATH", default=None,
                         help="with 'bench': output JSON path (default: "
-                             "BENCH_PR3.json)")
+                             "BENCH_PR4.json)")
+    parser.add_argument("--compare", metavar="PATH", default=None,
+                        help="with 'bench': annotate timing deltas against "
+                             "an earlier BENCH_*.json snapshot (never fails "
+                             "on a missing or old-schema baseline)")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', "
                              "'profile <oltp|dss>', 'stats <telemetry>', "
@@ -245,10 +251,10 @@ def main(argv: list[str] | None = None) -> int:
         return run_stats(source)
     if targets[0] == "bench":
         if len(targets) != 1:
-            print("usage: repro bench [--quick] [--bench-out PATH]",
-                  file=sys.stderr)
+            print("usage: repro bench [--quick] [--bench-out PATH] "
+                  "[--compare PATH]", file=sys.stderr)
             return 2
-        return run_bench_cmd(args.quick, args.bench_out or "BENCH_PR3.json")
+        return run_bench_cmd(args.quick, args.bench_out, args.compare)
     if targets[0] == "validate":
         return run_figures(["fig3"], args.scale,
                            cache_dir=args.cache_dir,

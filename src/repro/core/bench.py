@@ -12,18 +12,24 @@ kinds — through the three execution paths the harness actually uses:
 - ``parallel-warm``  — the same sweep again over the now-warm cache
   (every spec must come back as a disk-cache hit).
 
-Each run records its monotonic wall time (``time.perf_counter`` deltas
-only — recorded durations never touch the wall clock, which
-``tests/test_bench_harness.py`` locks down), the deterministic simulated
-access count, the derived accesses/second, and — via a per-mode telemetry
-log — worker utilization and cache hit/miss/store provenance by call
-site.  The result is written as ``BENCH_PR3.json`` at the repo root:
-one schema-versioned snapshot per PR, so future PRs can diff the
+Each mode's wall time is split into two attributed phases: the
+``trace_build_seconds`` spent building workload bundles through the DB
+engine (each distinct bundle is pre-built once before fan-out) and the
+``simulate_seconds`` the sweep itself takes.  The bench runs against a
+scratch ``REPRO_TRACE_DIR``, so the serial mode measures a genuinely cold
+trace store and the later modes exercise warm trace loads — the same
+split ``repro bench --compare OLD.json`` uses to attribute a speedup (or
+regression) to the right layer.
+
+All durations are monotonic (``time.perf_counter`` deltas only — recorded
+durations never touch the wall clock, which ``tests/test_bench_harness.py``
+locks down).  The result is written as ``BENCH_PR4.json`` at the repo
+root: one schema-versioned snapshot per PR, so future PRs can diff the
 trajectory and catch harness regressions without re-deriving a baseline.
 
 Timing numbers vary with host load, so CI treats the harness as a smoke
-test (it must *run*, not hit a target); the JSON artifact is where the
-trajectory accumulates.
+test (it must *run*, not hit a target) and ``--compare`` only annotates
+deltas; the JSON artifact is where the trajectory accumulates.
 """
 
 from __future__ import annotations
@@ -32,28 +38,33 @@ import json
 import os
 import platform
 import subprocess
-import sys
 import tempfile
 from time import perf_counter
 
 from ..simulator.configs import fc_cmp
+from ..workloads import driver
+from ..workloads.tracestore import ENV_TRACE_DIR
 from .experiment import Experiment
-from .parallel import CODE_VERSION, RunSpec
+from .parallel import CODE_VERSION, RunSpec, prebuild_workloads
 from .telemetry import load_events, summarize, telemetry_path
 
 __all__ = [
     "BENCH_MODES",
     "BENCH_SCHEMA",
     "DEFAULT_OUT",
+    "compare_bench",
+    "load_baseline",
     "run_bench",
     "validate_bench",
 ]
 
-#: Schema version stamped into every bench record.
-BENCH_SCHEMA = "repro-bench-v1"
+#: Schema version stamped into every bench record.  v2 adds the
+#: trace_build_seconds / simulate_seconds phase split and the optional
+#: ``compare`` annotation.
+BENCH_SCHEMA = "repro-bench-v2"
 
 #: Default output filename (repo root).
-DEFAULT_OUT = "BENCH_PR3.json"
+DEFAULT_OUT = "BENCH_PR4.json"
 
 #: The three timed execution paths, in run order (warm must follow cold).
 BENCH_MODES = ("serial", "parallel-cold", "parallel-warm")
@@ -75,6 +86,16 @@ FULL_CONFIG = {
     "kinds": ["oltp", "dss"],
     "jobs": 2,
 }
+
+#: The in-process workload memoizers, cleared at the start of each bench
+#: run so the serial mode measures a genuinely cold trace build.
+_WORKLOAD_CACHES = (
+    driver.oltp_workload,
+    driver.oltp_unsaturated,
+    driver.dss_workload,
+    driver.dss_unsaturated,
+    driver.dss_parallel_query,
+)
 
 
 def _git_commit() -> str | None:
@@ -111,13 +132,18 @@ def _timed_run(specs, config, mode: str, jobs: int,
         telemetry=log,
     )
     t0 = perf_counter()
+    prebuild_workloads(specs, config["scale"])
+    built_at = perf_counter()
     results = exp.run_many(specs, jobs=jobs)
-    wall = perf_counter() - t0
+    done_at = perf_counter()
+    wall = done_at - t0
     accesses = sum(r.hier_stats.data_accesses for r in results)
     summary = summarize(load_events(log))
     return {
         "mode": mode,
         "wall_seconds": round(wall, 6),
+        "trace_build_seconds": round(built_at - t0, 6),
+        "simulate_seconds": round(done_at - built_at, 6),
         "specs": len(specs),
         "simulated": exp.sim_runs,
         "accesses": accesses,
@@ -131,13 +157,18 @@ def _timed_run(specs, config, mode: str, jobs: int,
 
 
 def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
-              jobs: int | None = None) -> dict:
+              jobs: int | None = None,
+              compare: str | None = None) -> dict:
     """Time the pinned mini-sweep through all three execution paths.
 
     Args:
         quick: Use the small grid (CI, tests); False runs the fuller one.
         out_path: Where to write the JSON record; None skips writing.
         jobs: Pool width override for the parallel modes.
+        compare: Path of an earlier ``BENCH_*.json`` to annotate timing
+            deltas against (any schema version; tolerantly loaded).  The
+            annotation can never fail the bench — an unreadable baseline
+            is recorded as such.
 
     Returns:
         The bench record (also written to ``out_path``), validated
@@ -148,14 +179,27 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
     if jobs is not None:
         config["jobs"] = max(1, int(jobs))
     specs = _specs(config)
+    for memo in _WORKLOAD_CACHES:
+        memo.cache_clear()
     runs = []
+    saved_trace_dir = os.environ.get(ENV_TRACE_DIR)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
-        cache_dir = os.path.join(scratch, "cache")
-        runs.append(_timed_run(specs, config, "serial", 1, None, scratch))
-        runs.append(_timed_run(specs, config, "parallel-cold",
-                               config["jobs"], cache_dir, scratch))
-        runs.append(_timed_run(specs, config, "parallel-warm",
-                               config["jobs"], cache_dir, scratch))
+        # A scratch trace store: serial measures the cold (store-empty)
+        # build, the parallel modes exercise warm trace loads — without
+        # ever touching the user's configured store.
+        os.environ[ENV_TRACE_DIR] = os.path.join(scratch, "traces")
+        try:
+            cache_dir = os.path.join(scratch, "cache")
+            runs.append(_timed_run(specs, config, "serial", 1, None, scratch))
+            runs.append(_timed_run(specs, config, "parallel-cold",
+                                   config["jobs"], cache_dir, scratch))
+            runs.append(_timed_run(specs, config, "parallel-warm",
+                                   config["jobs"], cache_dir, scratch))
+        finally:
+            if saved_trace_dir is None:
+                os.environ.pop(ENV_TRACE_DIR, None)
+            else:
+                os.environ[ENV_TRACE_DIR] = saved_trace_dir
     record = {
         "schema": BENCH_SCHEMA,
         "code_version": CODE_VERSION,
@@ -165,6 +209,14 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
         "config": config,
         "runs": runs,
     }
+    if compare:
+        baseline = load_baseline(compare)
+        if baseline is None:
+            record["compare"] = {"baseline_path": compare,
+                                 "error": "baseline unreadable or invalid"}
+        else:
+            record["compare"] = compare_bench(record, baseline,
+                                              baseline_path=compare)
     validate_bench(record)
     if out_path:
         payload = json.dumps(record, indent=2, sort_keys=True) + "\n"
@@ -183,6 +235,64 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
     return record
 
 
+def load_baseline(path: str) -> dict | None:
+    """Tolerantly load an earlier bench snapshot (any schema version).
+
+    Returns None — never raises — for a missing, unparsable, or
+    shapeless file: ``--compare`` annotates, it must not gate.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        return None
+    return doc
+
+
+def compare_bench(record: dict, baseline: dict,
+                  baseline_path: str | None = None) -> dict:
+    """Per-mode and total speedups of ``record`` over ``baseline``.
+
+    Modes are matched by name; a baseline missing a mode (or its wall
+    time) simply contributes nothing.  Speedup > 1 means this record is
+    faster.
+    """
+    base_by_mode = {}
+    for run in baseline.get("runs", []):
+        if isinstance(run, dict) and isinstance(run.get("mode"), str):
+            base_by_mode[run["mode"]] = run
+    modes = {}
+    total_new = 0.0
+    total_base = 0.0
+    for run in record["runs"]:
+        base = base_by_mode.get(run["mode"])
+        if base is None:
+            continue
+        base_wall = base.get("wall_seconds")
+        if not isinstance(base_wall, (int, float)) or base_wall < 0:
+            continue
+        wall = run["wall_seconds"]
+        total_base += base_wall
+        total_new += wall
+        modes[run["mode"]] = {
+            "baseline_seconds": round(base_wall, 6),
+            "wall_seconds": round(wall, 6),
+            "speedup": round(base_wall / wall, 3) if wall > 0 else None,
+        }
+    return {
+        "baseline_path": baseline_path,
+        "baseline_schema": baseline.get("schema"),
+        "baseline_commit": baseline.get("commit"),
+        "modes": modes,
+        "total_baseline_seconds": round(total_base, 6),
+        "total_wall_seconds": round(total_new, 6),
+        "total_speedup": (round(total_base / total_new, 3)
+                          if total_new > 0 else None),
+    }
+
+
 def validate_bench(record: dict) -> None:
     """Raise ``ValueError`` unless ``record`` is a valid bench snapshot."""
     if not isinstance(record, dict):
@@ -197,6 +307,8 @@ def validate_bench(record: dict) -> None:
             raise ValueError(f"missing or mistyped field {field!r}")
     if not (record.get("commit") is None or isinstance(record["commit"], str)):
         raise ValueError("'commit' must be a string or null")
+    if "compare" in record and not isinstance(record["compare"], dict):
+        raise ValueError("'compare' must be an object when present")
     config = record["config"]
     for field in ("scale", "measure_cycles", "sizes_mb", "kinds", "jobs"):
         if field not in config:
@@ -207,7 +319,8 @@ def validate_bench(record: dict) -> None:
             f"runs must cover {BENCH_MODES} in order, got "
             f"{[r.get('mode') for r in runs]}")
     for run in runs:
-        for field in ("wall_seconds", "accesses_per_sec"):
+        for field in ("wall_seconds", "trace_build_seconds",
+                      "simulate_seconds", "accesses_per_sec"):
             value = run.get(field)
             if not isinstance(value, (int, float)) or value < 0:
                 raise ValueError(
@@ -230,7 +343,7 @@ def validate_bench(record: dict) -> None:
 
 
 def format_bench(record: dict) -> str:
-    """One-line-per-mode rendering for the CLI."""
+    """One-line-per-mode rendering (plus any --compare annotation)."""
     lines = [f"bench {record['schema']}  commit "
              f"{(record['commit'] or 'unknown')[:12]}  "
              f"python {record['python']}"]
@@ -240,6 +353,25 @@ def format_bench(record: dict) -> str:
                      f"  cache hits={cache['hits']} stores={cache['stores']}")
         lines.append(
             f"  {run['mode']:<14} {run['wall_seconds']:8.3f}s  "
+            f"(build {run['trace_build_seconds']:.3f}s + "
+            f"sim {run['simulate_seconds']:.3f}s)  "
             f"{run['accesses_per_sec']:>10g} acc/s  "
             f"util {run['worker_utilization']:.0%}{cache_txt}")
+    compare = record.get("compare")
+    if compare is not None:
+        if "error" in compare:
+            lines.append(
+                f"  compare: {compare['baseline_path']}: {compare['error']}")
+        else:
+            parts = [
+                f"{mode} {info['speedup']}x" if info["speedup"] is not None
+                else f"{mode} n/a"
+                for mode, info in compare["modes"].items()
+            ]
+            total = compare.get("total_speedup")
+            total_txt = f"{total}x" if total is not None else "n/a"
+            lines.append(
+                f"  vs {compare.get('baseline_commit') or 'baseline'}"
+                f"[{compare.get('baseline_schema')}]: "
+                + ", ".join(parts) + f"; total {total_txt}")
     return "\n".join(lines)

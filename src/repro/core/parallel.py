@@ -205,6 +205,36 @@ def execute(spec: RunSpec, scale: float,
     )
 
 
+def prebuild_workloads(specs, scale: float, indices=None) -> int:
+    """Build each distinct workload bundle once, in the calling process.
+
+    Called before a pool fan-out so no worker pays the engine-execution
+    cost: on fork platforms workers inherit the parent's in-process
+    memoization, and with ``REPRO_TRACE_DIR`` set the parent's build also
+    lands in the cross-process trace store, which covers spawn platforms
+    and later processes.  Building is deterministic, so this cannot change
+    any result — only where the build time is spent.
+
+    Args:
+        specs: The sweep batch.
+        scale: Study scale factor.
+        indices: Spec positions to consider (default: all).
+
+    Returns:
+        The number of distinct bundles built (or found already built).
+    """
+    seen = set()
+    it = specs if indices is None else (specs[i] for i in indices)
+    for spec in it:
+        coord = (spec.kind, spec.regime, spec.n_clients)
+        if coord in seen:
+            continue
+        seen.add(coord)
+        workload_for(spec.kind, spec.regime, scale,
+                     n_clients=spec.n_clients)
+    return len(seen)
+
+
 # ---------------------------------------------------------------------- #
 # Resilience knobs (environment defaults)                                 #
 # ---------------------------------------------------------------------- #
@@ -750,6 +780,11 @@ def run_specs(
                    wall_s=round(wall, 6))
 
     if jobs > 1 and len(pending) > 1:
+        # Build every distinct workload in the parent first: fork-started
+        # workers inherit the built bundles, spawn-started ones load the
+        # frozen bytes from the trace store instead of re-running the
+        # engine once per worker.
+        prebuild_workloads(specs, scale, pending)
         try:
             _run_pool(specs, scale, default_cycles, pending, jobs, timeout,
                       retries, backoff, fail_fast, attempts, failures,

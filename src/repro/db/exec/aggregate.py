@@ -110,14 +110,21 @@ class HashAggregate(Operator):
         order: list = []
         key_fn = self.group_key
         aggs = self.aggs
+        # Per-input-row loop: hoist tracer methods and constants.
+        enter = tracer.enter
+        compute = tracer.compute
+        data = tracer.data
+        region = self.code_region
+        groups_get = groups.get
+        base = arena.base
+        update_cost = costs.HASH_KEY + costs.AGG_UPDATE * len(aggs)
         for row in self.child.rows():
-            self._enter()
+            enter(region)
             key = key_fn(row) if key_fn is not None else None
-            tracer.compute(costs.HASH_KEY + costs.AGG_UPDATE * len(aggs))
+            compute(update_cost)
             slot = stable_hash(key) % span if key is not None else 0
-            tracer.data(arena.base + slot * _GROUP_ENTRY_BYTES,
-                        write=True, dependent=True)
-            state = groups.get(key)
+            data(base + slot * _GROUP_ENTRY_BYTES, True, True)
+            state = groups_get(key)
             if state is None:
                 state = [a.init_state() for a in aggs]
                 groups[key] = state
@@ -154,12 +161,29 @@ class StreamAggregate(Operator):
 
     def rows(self) -> Iterator[tuple]:
         tracer = self.ctx.tracer
-        state = [a.init_state() for a in self.aggs]
-        for row in self.child.rows():
-            self._enter()
-            tracer.compute(costs.AGG_UPDATE * len(self.aggs))
-            for i, a in enumerate(self.aggs):
-                state[i] = a.update(state[i], row)
+        aggs = self.aggs
+        state = [a.init_state() for a in aggs]
+        enter = tracer.enter
+        compute = tracer.compute
+        region = self.code_region
+        update_cost = costs.AGG_UPDATE * len(aggs)
+        if len(aggs) == 1:
+            # The common plan shape (one accumulator): avoid the
+            # enumerate loop entirely.
+            agg = aggs[0]
+            update = agg.update
+            acc = state[0]
+            for row in self.child.rows():
+                enter(region)
+                compute(update_cost)
+                acc = update(acc, row)
+            state[0] = acc
+        else:
+            for row in self.child.rows():
+                enter(region)
+                compute(update_cost)
+                for i, a in enumerate(aggs):
+                    state[i] = a.update(state[i], row)
         self._enter()
         tracer.compute(costs.EMIT_TUPLE)
         yield tuple(a.final(s) for a, s in zip(self.aggs, state))

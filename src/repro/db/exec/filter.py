@@ -29,12 +29,17 @@ class Filter(Operator):
         self._cost = costs.PREDICATE * max(1, n_terms)
 
     def rows(self) -> Iterator[tuple]:
+        # One predicate evaluation per input row: hoist the tracer calls
+        # (identical event sequence, no per-row attribute walks).
         tracer = self.ctx.tracer
+        enter = tracer.enter
+        compute = tracer.compute
+        region = self.code_region
         pred = self.predicate
         cost = self._cost
         for row in self.child.rows():
-            self._enter()
-            tracer.compute(cost)
+            enter(region)
+            compute(cost)
             if pred(row):
                 yield row
 
@@ -59,10 +64,14 @@ class Project(Operator):
 
     def rows(self) -> Iterator[tuple]:
         tracer = self.ctx.tracer
+        enter = tracer.enter
+        compute = tracer.compute
+        region = self.code_region
+        cost = costs.EMIT_TUPLE
         idx = self._idx
         for row in self.child.rows():
-            self._enter()
-            tracer.compute(costs.EMIT_TUPLE)
+            enter(region)
+            compute(cost)
             yield tuple(row[i] for i in idx)
 
 
@@ -85,10 +94,14 @@ class Map(Operator):
 
     def rows(self) -> Iterator[tuple]:
         tracer = self.ctx.tracer
+        enter = tracer.enter
+        compute = tracer.compute
+        region = self.code_region
+        cost = self._cost
         fn = self.fn
         for row in self.child.rows():
-            self._enter()
-            tracer.compute(self._cost)
+            enter(region)
+            compute(cost)
             yield fn(row)
 
 

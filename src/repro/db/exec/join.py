@@ -63,12 +63,17 @@ class HashJoin(Operator):
 
     def rows(self) -> Iterator[tuple]:
         tracer = self.ctx.tracer
+        enter = tracer.enter
+        compute = tracer.compute
+        data = tracer.data
+        region = self.code_region
         # ---- build phase --------------------------------------------- #
         table: dict = {}
         build_rows = []
+        build_key = self.build_key
         for row in self.build.rows():
-            self._enter()
-            key = self.build_key(row)
+            enter(region)
+            key = build_key(row)
             table.setdefault(key, []).append(row)
             build_rows.append(row)
         self.build_rows_seen = len(build_rows)
@@ -77,35 +82,39 @@ class HashJoin(Operator):
             "hashjoin",
             n_buckets * _BUCKET_BYTES + max(1, len(build_rows)) * _ENTRY_BYTES,
         )
-        entries_base = arena.base + n_buckets * _BUCKET_BYTES
+        arena_base = arena.base
+        entries_base = arena_base + n_buckets * _BUCKET_BYTES
 
         def bucket_addr(key) -> int:
-            return arena.base + (stable_hash(key) % n_buckets) * _BUCKET_BYTES
+            return arena_base + (stable_hash(key) % n_buckets) * _BUCKET_BYTES
 
         # Emit the build-phase traffic now that the table is sized.
         self._enter()
+        insert_cost = costs.HASH_KEY + costs.HASH_INSERT
         for i, row in enumerate(build_rows):
-            key = self.build_key(row)
-            tracer.compute(costs.HASH_KEY + costs.HASH_INSERT)
-            tracer.data(bucket_addr(key), write=True, dependent=True)
-            tracer.data(entries_base + i * _ENTRY_BYTES, write=True)
+            key = build_key(row)
+            compute(insert_cost)
+            data(bucket_addr(key), True, True)
+            data(entries_base + i * _ENTRY_BYTES, True)
         # ---- probe phase --------------------------------------------- #
         entry_no = {id(r): i for i, r in enumerate(build_rows)}
+        probe_key = self.probe_key
+        table_get = table.get
+        probe_cost = costs.HASH_KEY
+        match_cost = costs.HASH_CHAIN_STEP + costs.EMIT_TUPLE
         for row in self.probe.rows():
-            self._enter()
-            key = self.probe_key(row)
-            tracer.compute(costs.HASH_KEY)
-            tracer.data(bucket_addr(key), dependent=True)
+            enter(region)
+            key = probe_key(row)
+            compute(probe_cost)
+            data(bucket_addr(key), False, True)
             self.probe_rows_seen += 1
-            matches = table.get(key)
+            matches = table_get(key)
             if not matches:
                 continue
             for m in matches:
-                tracer.compute(costs.HASH_CHAIN_STEP + costs.EMIT_TUPLE)
-                tracer.data(
-                    entries_base + entry_no[id(m)] * _ENTRY_BYTES,
-                    dependent=True,
-                )
+                compute(match_cost)
+                data(entries_base + entry_no[id(m)] * _ENTRY_BYTES,
+                     False, True)
                 yield m + row
 
 

@@ -51,34 +51,47 @@ class SeqScan(Operator):
         fmt = heap.format
         capacity = fmt.capacity
         pool = self.ctx.pool
+        # This loop body runs once per scanned tuple — the single hottest
+        # path of a DSS trace build — so hoist every lookup out of it.
+        stop = self._stop
+        pax = self._pax
+        col_idx = self._col_idx
+        compute = tracer.compute
+        data = tracer.data
+        get = heap.get
+        field_addr = fmt.field_addr
+        record_addr = fmt.record_addr
+        width = heap.schema.row_width
+        scan_next = costs.SCAN_NEXT
         rid = self._start
-        while rid < self._stop:
+        while rid < stop:
             page_no, slot = divmod(rid, capacity)
             base = pool.fetch(heap, page_no, tracer)
-            page_end = min(self._stop, (page_no + 1) * capacity)
+            page_end = min(stop, (page_no + 1) * capacity)
             self._enter()
+            page_off = page_no * capacity
             while rid < page_end:
-                slot = rid - page_no * capacity
-                tracer.compute(costs.SCAN_NEXT)
+                slot = rid - page_off
+                compute(scan_next)
                 # Tuple-at-a-time iteration serializes through the slot
                 # directory and record decode: five sixths of the record
                 # accesses carry a true dependence the out-of-order core
                 # cannot reorder around ("tight data dependencies").
                 dep = rid % 6 != 0
-                if self._pax:
-                    for col in self._col_idx:
-                        tracer.data(fmt.field_addr(base, slot, col),
-                                    dependent=dep, stream=True)
+                # Positional tracer args (write, dependent, kernel, stream):
+                # keyword passing is measurable at one call per reference.
+                if pax:
+                    for col in col_idx:
+                        data(field_addr(base, slot, col), False, dep,
+                             False, True)
                 else:
-                    tracer.data(fmt.record_addr(base, slot), dependent=dep,
-                                stream=True)
+                    addr = record_addr(base, slot)
+                    data(addr, False, dep, False, True)
                     # Wide NSM records span extra lines; touch them too.
-                    width = heap.schema.row_width
                     if width > 64:
-                        addr = fmt.record_addr(base, slot)
                         for extra in range(64, width, 64):
-                            tracer.data(addr + extra, stream=True)
-                yield heap.get(rid)
+                            data(addr + extra, False, False, False, True)
+                yield get(rid)
                 rid += 1
 
 

@@ -56,6 +56,11 @@ class HeapFile:
         self._virtual_rows = n_virtual_rows
         self._row_source = row_source
         self._overlay: dict[int, tuple] = {}
+        # Generated virtual rows are deterministic, so memoize them: the
+        # DSS clients re-scan shared chunks many times, and regenerating a
+        # row costs far more than a dict hit.  Bounded by the table size
+        # (the same rows a materialized heap would hold outright).
+        self._row_cache: dict[int, tuple] = {}
         if n_virtual_rows:
             self._reserve_pages(self.n_pages)
 
@@ -147,13 +152,18 @@ class HeapFile:
         Raises:
             IndexError: for an out-of-range rid.
         """
-        if not 0 <= rid < self.n_rows:
-            raise IndexError(f"{self.name}: rid {rid} out of range")
-        if self.is_virtual:
+        if self._virtual_rows:
+            if not 0 <= rid < self._virtual_rows:
+                raise IndexError(f"{self.name}: rid {rid} out of range")
             row = self._overlay.get(rid)
             if row is None:
-                row = self._row_source(rid)
+                cache = self._row_cache
+                row = cache.get(rid)
+                if row is None:
+                    row = cache[rid] = self._row_source(rid)
             return row
+        if not 0 <= rid < len(self._rows):
+            raise IndexError(f"{self.name}: rid {rid} out of range")
         return self._rows[rid]
 
     def set_field(self, rid: int, col: int, value) -> tuple:

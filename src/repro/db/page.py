@@ -48,6 +48,8 @@ class PageFormat:
     def __init__(self, schema: Schema, layout: PageLayout = PageLayout.NSM):
         self.schema = schema
         self.layout = layout
+        self._row_width = schema.row_width
+        self._nsm = layout is PageLayout.NSM
         usable = PAGE_SIZE - PAGE_HEADER_BYTES
         if layout is PageLayout.NSM:
             per_row = schema.row_width + SLOT_ENTRY_BYTES
@@ -87,26 +89,28 @@ class PageFormat:
 
     def record_addr(self, page_base: int, slot: int) -> int:
         """Address of the start of the record (NSM) / first field (PAX)."""
-        self._check_slot(slot)
-        if self.layout is PageLayout.NSM:
-            return page_base + PAGE_HEADER_BYTES + slot * self.schema.row_width
+        if not 0 <= slot < self.capacity:
+            self._check_slot(slot)
+        if self._nsm:
+            return page_base + PAGE_HEADER_BYTES + slot * self._row_width
         return self.field_addr(page_base, slot, 0)
 
     def field_addr(self, page_base: int, slot: int, col: int) -> int:
         """Address of column ``col`` of the record in ``slot``."""
-        self._check_slot(slot)
+        if not 0 <= slot < self.capacity:
+            self._check_slot(slot)
         schema = self.schema
-        if self.layout is PageLayout.NSM:
+        if self._nsm:
             return (
                 page_base
                 + PAGE_HEADER_BYTES
-                + slot * schema.row_width
-                + schema.column_offset(col)
+                + slot * self._row_width
+                + schema._offsets[col]
             )
         return (
             page_base
             + self._mini_offsets[col]
-            + slot * schema.column_width(col)
+            + slot * schema._widths[col]
         )
 
     def record_lines(self, page_base: int, slot: int) -> list[int]:
@@ -120,7 +124,7 @@ class PageFormat:
         self._check_slot(slot)
         if self.layout is PageLayout.NSM:
             start = self.record_addr(page_base, slot)
-            end = start + self.schema.row_width
+            end = start + self._row_width
             first = start & ~63
             return list(range(first, end, 64))
         lines = []

@@ -25,6 +25,8 @@ class Schema:
     name: str
     columns: tuple[Column, ...]
     _offsets: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _widths: tuple[int, ...] = field(init=False, repr=False, compare=False)
+    _row_width: int = field(init=False, repr=False, compare=False)
 
     def __init__(self, name: str, columns: list[Column] | tuple[Column, ...]):
         if not columns:
@@ -34,17 +36,22 @@ class Schema:
             raise ValueError(f"schema {name!r} has duplicate column names")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "columns", tuple(columns))
+        # Precompute the full layout once: offsets, widths, and row width
+        # are consulted per traced field access, so they must be O(1).
+        widths = tuple(c.width for c in columns)
         offsets = []
         off = 0
-        for c in columns:
+        for w in widths:
             offsets.append(off)
-            off += c.width
+            off += w
         object.__setattr__(self, "_offsets", tuple(offsets))
+        object.__setattr__(self, "_widths", widths)
+        object.__setattr__(self, "_row_width", off)
 
     @property
     def row_width(self) -> int:
         """NSM record width in bytes (sum of column widths)."""
-        return self._offsets[-1] + self.columns[-1].width
+        return self._row_width
 
     @property
     def n_columns(self) -> int:
@@ -68,7 +75,7 @@ class Schema:
 
     def column_width(self, index: int) -> int:
         """Storage width of column ``index``."""
-        return self.columns[index].width
+        return self._widths[index]
 
     def project(self, names: list[str]) -> "Schema":
         """A new schema containing only the named columns, in given order."""

@@ -90,6 +90,7 @@ class MemoryTracer(NullTracer):
         self._registry = registry
         self._builder = TraceBuilder(name, ilp=ilp, branch_mpki=branch_mpki,
                                      ilp_inorder=ilp_inorder)
+        self._appends = self._builder._appends
         self._pending = 0
         self._region_ids: dict[str, int] = {}
         self._current_region = self._region_id("rt.kernel")
@@ -110,7 +111,9 @@ class MemoryTracer(NullTracer):
 
     def enter(self, code_name: str) -> None:
         """Move control into code module ``code_name``."""
-        self._current_region = self._region_id(code_name)
+        rid = self._region_ids.get(code_name)
+        self._current_region = rid if rid is not None \
+            else self._region_id(code_name)
 
     def compute(self, n_instr: int) -> None:
         """Charge ``n_instr`` instructions before the next data reference."""
@@ -131,10 +134,16 @@ class MemoryTracer(NullTracer):
         if stream:
             flags |= FLAG_STREAM
         # Charge a minimal instruction for the access itself so no event
-        # carries zero work.
+        # carries zero work.  The builder's event() is inlined here (same
+        # clamp and mask) — this method is called once per recorded
+        # reference, the single hottest call of a trace build.
         icount = self._pending + 1
         self._pending = 0
-        self._builder.event(icount, addr, flags, self._current_region)
+        add_icount, add_addr, add_flags, add_region = self._appends
+        add_icount(icount if icount <= 0xFFFF_FFFF else 0xFFFF_FFFF)
+        add_addr(addr)
+        add_flags(flags & 0xFF)
+        add_region(self._current_region)
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                           #

@@ -54,9 +54,14 @@ class CacheStats:
 class SetAssocCache:
     """A set-associative cache over line indexes.
 
-    Sets are kept as two parallel structures per set: an LRU-ordered list of
-    tags (MRU at the end) and a dict mapping tag -> state.  Associativities
-    in this study are small (2-16 ways) so list operations are cheap.
+    Each set is a single insertion-ordered dict mapping tag -> state:
+    Python dicts preserve insertion order, so the first key is the LRU
+    line and the last the MRU.  Moving a line to MRU is a pop + reinsert
+    and evicting the LRU is ``next(iter(set))`` — every operation is O(1)
+    instead of the O(assoc) ``list.remove`` of a parallel-list design.
+    The observable behaviour (hit/miss/eviction/victim sequences) is
+    identical; ``tests/test_cache_oracle.py`` drives both models through
+    randomized op streams to prove it.
 
     Args:
         name: Debug label ("L1D-0", "L2", ...).
@@ -66,7 +71,7 @@ class SetAssocCache:
     """
 
     __slots__ = ("name", "size_bytes", "assoc", "line_size", "n_sets",
-                 "_order", "_state", "stats")
+                 "_sets", "stats")
 
     def __init__(self, name: str, size_bytes: int, assoc: int, line_size: int = 64):
         if size_bytes <= 0 or assoc <= 0:
@@ -85,8 +90,7 @@ class SetAssocCache:
         self.assoc = assoc
         self.line_size = line_size
         self.n_sets = n_sets
-        self._order: list[list[int]] = [[] for _ in range(n_sets)]
-        self._state: list[dict[int, int]] = [{} for _ in range(n_sets)]
+        self._sets: list[dict[int, int]] = [{} for _ in range(n_sets)]
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------ #
@@ -105,28 +109,24 @@ class SetAssocCache:
             evicted line, or None.  A dirty victim also bumps the writeback
             counter.
         """
-        idx = line % self.n_sets
-        state = self._state[idx]
-        order = self._order[idx]
-        if line in state:
-            self.stats.hits += 1
-            if order[-1] != line:
-                order.remove(line)
-                order.append(line)
-            if write:
-                state[line] = DIRTY
+        sdict = self._sets[line % self.n_sets]
+        stats = self.stats
+        state = sdict.pop(line, -1)
+        if state >= 0:
+            stats.hits += 1
+            # Reinsert at the MRU (insertion-order) end.
+            sdict[line] = DIRTY if write else state
             return True, None
-        self.stats.misses += 1
+        stats.misses += 1
         victim = None
-        if len(order) >= self.assoc:
-            vline = order.pop(0)
-            vstate = state.pop(vline)
-            self.stats.evictions += 1
+        if len(sdict) >= self.assoc:
+            vline = next(iter(sdict))
+            vstate = sdict.pop(vline)
+            stats.evictions += 1
             if vstate == DIRTY:
-                self.stats.writebacks += 1
+                stats.writebacks += 1
             victim = (vline, vstate)
-        order.append(line)
-        state[line] = DIRTY if write else CLEAN
+        sdict[line] = DIRTY if write else CLEAN
         return False, victim
 
     # ------------------------------------------------------------------ #
@@ -135,15 +135,14 @@ class SetAssocCache:
 
     def lookup(self, line: int) -> int | None:
         """Return the line's state without updating LRU, or None if absent."""
-        return self._state[line % self.n_sets].get(line)
+        return self._sets[line % self.n_sets].get(line)
 
     def touch(self, line: int) -> None:
         """Move a resident line to MRU position.  No-op if absent."""
-        idx = line % self.n_sets
-        order = self._order[idx]
-        if line in self._state[idx] and order[-1] != line:
-            order.remove(line)
-            order.append(line)
+        sdict = self._sets[line % self.n_sets]
+        state = sdict.pop(line, None)
+        if state is not None:
+            sdict[line] = state
 
     def set_state(self, line: int, new_state: int) -> None:
         """Overwrite a resident line's state.
@@ -151,10 +150,10 @@ class SetAssocCache:
         Raises:
             KeyError: if the line is not resident.
         """
-        idx = line % self.n_sets
-        if line not in self._state[idx]:
+        sdict = self._sets[line % self.n_sets]
+        if line not in sdict:
             raise KeyError(f"{self.name}: line {line:#x} not resident")
-        self._state[idx][line] = new_state
+        sdict[line] = new_state
 
     def insert(self, line: int, state: int) -> tuple[int, int] | None:
         """Insert a line (assumed absent) with ``state``; return any victim.
@@ -162,47 +161,40 @@ class SetAssocCache:
         Unlike :meth:`access` this does not count a hit or miss — the caller
         (the coherence protocol) does its own accounting.
         """
-        idx = line % self.n_sets
-        sdict = self._state[idx]
-        order = self._order[idx]
+        sdict = self._sets[line % self.n_sets]
         if line in sdict:
+            # Resident: refresh state and recency.
+            del sdict[line]
             sdict[line] = state
-            self.touch(line)
             return None
         victim = None
-        if len(order) >= self.assoc:
-            vline = order.pop(0)
+        if len(sdict) >= self.assoc:
+            vline = next(iter(sdict))
             vstate = sdict.pop(vline)
             self.stats.evictions += 1
             victim = (vline, vstate)
-        order.append(line)
         sdict[line] = state
         return victim
 
     def invalidate(self, line: int) -> int | None:
         """Remove a line; return its state, or None if it was absent."""
-        idx = line % self.n_sets
-        sdict = self._state[idx]
-        if line not in sdict:
-            return None
-        self._order[idx].remove(line)
-        return sdict.pop(line)
+        return self._sets[line % self.n_sets].pop(line, None)
 
     # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
 
     def __contains__(self, line: int) -> bool:
-        return line in self._state[line % self.n_sets]
+        return line in self._sets[line % self.n_sets]
 
     @property
     def resident_lines(self) -> int:
         """Number of lines currently resident."""
-        return sum(len(s) for s in self._state)
+        return sum(len(s) for s in self._sets)
 
     def set_occupancy(self, line: int) -> int:
         """Number of resident lines in the set that ``line`` maps to."""
-        return len(self._state[line % self.n_sets])
+        return len(self._sets[line % self.n_sets])
 
     def flush_stats(self) -> CacheStats:
         """Return a copy of current stats and reset the live counters."""

@@ -274,21 +274,23 @@ class FatCore:
             return
         p = self.params
         bd = self.breakdown
+        hier = self.hier
+        core_id = self.core_id
         icount, addr, flags, region = ctx.advance()
         trace = ctx.trace
         jumped = region != ctx.last_region or bool(flags & FLAG_CODE_JUMP)
         ctx.last_region = region
         fp = trace.footprints[region]
         n_lines = max(1, icount // _INSTR_PER_LINE)
-        i_exposed, i_level = self.hier.instr_block(
-            self.core_id, fp.base, fp.n_lines, n_lines, jumped, self.t
+        i_exposed, i_level = hier.instr_block(
+            core_id, fp.base, fp.n_lines, n_lines, jumped, self.t
         )
         i_stall = max(0.0, i_exposed - p.ifetch_hide_cycles)
         compute = icount / ctx.rate
         branch = icount * trace.branch_mpki / 1000.0 * p.branch_penalty
         access_t = self.t + i_stall + compute
-        lat, d_level = self.hier.data_access(
-            self.core_id, addr, bool(flags & FLAG_WRITE), access_t
+        lat, d_level = hier.data_access(
+            core_id, addr, bool(flags & FLAG_WRITE), access_t
         )
         if d_level == L1:
             d_exposed = 0.0
@@ -376,10 +378,12 @@ class LeanCore:
         nxt = math.inf
         n_run = 0
         min_work = math.inf
+        stalled = _Context.STALLED
+        runnable = _Context.RUNNABLE
         for c in self.contexts:
-            if c.state == _Context.STALLED and c.wake_time < nxt:
+            if c.state == stalled and c.wake_time < nxt:
                 nxt = c.wake_time
-            elif c.state == _Context.RUNNABLE:
+            elif c.state == runnable:
                 n_run += 1
                 if c.work_left < min_work:
                     min_work = c.work_left
@@ -498,16 +502,19 @@ class LeanCore:
         if t is math.inf:
             return
         self._advance_to(t)
+        stalled = _Context.STALLED
+        runnable = _Context.RUNNABLE
+        deadline = t + _EPS
         for ctx in self.contexts:
-            if ctx.state == _Context.STALLED and ctx.wake_time <= t + _EPS:
+            if ctx.state == stalled and ctx.wake_time <= deadline:
                 ctx.wake_time = math.inf
-                ctx.state = _Context.RUNNABLE
+                ctx.state = runnable
                 if not ctx.wake_is_instr:
                     # The data stall ended the block; move to the next one.
                     self._load_next_block(ctx)
         for ctx in self.contexts:
             if (
-                ctx.state == _Context.RUNNABLE
+                ctx.state == runnable
                 and ctx.has_pending
                 and ctx.work_left <= _EPS
             ):

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .cache import SetAssocCache
+from .cache import CLEAN, DIRTY, SetAssocCache
 from . import cacti
 
 #: Access satisfied by the local L1 (no exposed stall; latency folded).
@@ -175,15 +175,23 @@ class SharedL2Hierarchy:
         l2_bytes = int(params.l2_mb * 1024 * 1024)
         self.l2 = SetAssocCache("L2", l2_bytes, params.l2_assoc)
         self._l1_owners: dict[int, int] = {}
-        self._bank_free = [0.0] * params.l2_banks
-        self._bank_mask = params.l2_banks - 1
-        if params.l2_banks & self._bank_mask:
-            raise ValueError("l2_banks must be a power of two")
+        banks = params.l2_banks
+        # The mask-based test alone (`banks & (banks - 1)`) wrongly accepts
+        # 0 (0 & -1 == 0) and negatives, so range-check first.
+        if not isinstance(banks, int) or banks < 1 or banks & (banks - 1):
+            raise ValueError(
+                f"l2_banks must be a power of two >= 1, got {banks!r}"
+            )
+        self._bank_free = [0.0] * banks
+        self._bank_mask = banks - 1
         l1i_lines = params.l1i_kb * 1024 // 64
         self._code_pressure = [_CodePressure(l1i_lines) for i in range(n)]
         self._pf_last = [0] * n
         self._pf_stride = [0] * n
         self._pf_conf = [0] * n
+        #: When set (a list), warm_block appends every L2 access it makes,
+        #: so the warm machinery can capture a replayable warm state.
+        self._warm_log: list[tuple[int, int]] | None = None
         self.stats = HierarchyStats()
 
     # ------------------------------------------------------------------ #
@@ -222,10 +230,11 @@ class SharedL2Hierarchy:
         p = self.params
         line = addr >> 6
         stats = self.stats
+        counts = stats.data_level_counts
         stats.data_accesses += 1
         hit, victim = self._l1d[core].access(line, write)
         if hit:
-            stats.data_level_counts[L1] += 1
+            counts[L1] += 1
             return p.l1_latency, L1
         owners = self._l1_owners
         bit = 1 << core
@@ -256,7 +265,7 @@ class SharedL2Hierarchy:
                 owners[line] = sibling_mask | bit
             if dirty_sibling:
                 self.l2.touch(line)
-                stats.data_level_counts[L1X] += 1
+                counts[L1X] += 1
                 return p.l1_transfer_latency, L1X
         owners[line] = owners.get(line, 0) | bit
         # Stride prefetch check (ablation feature, off by default).
@@ -275,15 +284,15 @@ class SharedL2Hierarchy:
         qdelay = self._l2_port(line, now)
         l2_hit, _ = self.l2.access(line, write)
         if l2_hit:
-            stats.data_level_counts[L2] += 1
+            counts[L2] += 1
             return int(self.l2_latency + qdelay), L2
         if predicted:
             # The prefetcher fetched the line ahead of use: the demand access
             # finds it arriving on chip and pays only the L2 round trip.
             stats.prefetch_covered += 1
-            stats.data_level_counts[L2] += 1
+            counts[L2] += 1
             return int(self.l2_latency + qdelay), L2
-        stats.data_level_counts[MEM] += 1
+        counts[MEM] += 1
         return int(self.l2_latency + qdelay + p.mem_latency), MEM
 
     def warm_data(self, core: int, addr: int, write: bool) -> None:
@@ -312,6 +321,97 @@ class SharedL2Hierarchy:
         else:
             owners[line] = owners.get(line, 0) | bit
         self.l2.access(line, write)
+
+    def warm_block(
+        self, core: int, addrs, flags, lo: int, hi: int
+    ) -> None:
+        """Batched :meth:`warm_data` over ``addrs[lo:hi]``.
+
+        Same state transitions reference-for-reference.  The L1 LRU update
+        is inlined (dict pop + reinsert on the cache's own sets) with *no*
+        stat counting: the warm/measure boundary resets every counter this
+        loop would have bumped, so skipping them is unobservable — while
+        cache/owner state lands exactly where :meth:`warm_data` puts it.
+        """
+        l1 = self._l1d[core]
+        sets = l1._sets
+        n_sets = l1.n_sets
+        assoc = l1.assoc
+        l2_access = self.l2.access
+        owners = self._l1_owners
+        owners_get = owners.get
+        bit = 1 << core
+        nbit = ~bit
+        n_cores = self.params.n_cores
+        l1d = self._l1d
+        log = self._warm_log
+        log_append = None if log is None else log.append
+        for i in range(lo, hi):
+            write = flags[i] & 0x1
+            line = addrs[i] >> 6
+            sdict = sets[line % n_sets]
+            state = sdict.pop(line, -1)
+            if state >= 0:
+                sdict[line] = DIRTY if write else state
+                continue
+            if len(sdict) >= assoc:
+                vline = next(iter(sdict))
+                del sdict[vline]
+                vmask = owners_get(vline)
+                if vmask is not None:
+                    vmask &= nbit
+                    if vmask:
+                        owners[vline] = vmask
+                    else:
+                        del owners[vline]
+            sdict[line] = DIRTY if write else CLEAN
+            sibling_mask = owners_get(line, 0) & nbit
+            if write and sibling_mask:
+                for other in range(n_cores):
+                    if sibling_mask >> other & 1:
+                        l1d[other].invalidate(line)
+                owners[line] = bit
+            else:
+                owners[line] = owners_get(line, 0) | bit
+            l2_access(line, write)
+            if log_append is not None:
+                log_append((line, write))
+
+    # ------------------------------------------------------------------ #
+    # Warm-state capture/replay                                           #
+    # ------------------------------------------------------------------ #
+    #
+    # During warm-up nothing feeds back from the L2 into the L1s (no
+    # back-invalidation), so for a fixed warm schedule the L1 contents,
+    # the owner map, and the *sequence* of L2 accesses are all independent
+    # of the L2 configuration.  A sweep that varies only the L2 (the
+    # paper's central experiment) can therefore warm the L1 side once,
+    # snapshot it, and for every other configuration replay just the
+    # logged L2 accesses — which is bit-identical to a full re-warm.
+
+    def begin_warm_log(self) -> None:
+        """Start recording L2 warm accesses for later capture."""
+        self._warm_log = []
+
+    def capture_warm_state(self):
+        """Snapshot (L1 sets, owner map, L2 access log) after a warm-up."""
+        log = self._warm_log
+        self._warm_log = None
+        return (
+            [[s.copy() for s in cache._sets] for cache in self._l1d],
+            dict(self._l1_owners),
+            log if log is not None else [],
+        )
+
+    def restore_warm_state(self, state) -> None:
+        """Install a captured warm state (replays the L2 access log)."""
+        l1_sets, owners, l2_log = state
+        for cache, sets in zip(self._l1d, l1_sets):
+            cache._sets = [s.copy() for s in sets]
+        self._l1_owners = dict(owners)
+        l2_access = self.l2.access
+        for line, write in l2_log:
+            l2_access(line, write)
 
     # ------------------------------------------------------------------ #
     # Instruction path                                                    #

@@ -31,6 +31,13 @@ from .trace import Trace, Workload
 #: number of references).
 DEFAULT_MEASURE_CYCLES = 400_000
 
+#: Memoized post-warm states for the shared-L2 hierarchy, keyed by the
+#: warm schedule and L1 geometry (everything the warm state can depend on
+#: besides the L2 itself).  Each entry pins its traces so the object ids
+#: in the key cannot be recycled while the entry is alive.
+_WARM_MEMO: dict = {}
+_WARM_MEMO_CAP = 4
+
 
 @dataclass(frozen=True)
 class MachineConfig:
@@ -167,6 +174,12 @@ class Machine:
         realistic mix of all clients rather than one client at a time.
         Measurement then starts where warming stopped, so references to
         the cold secondary working set are genuinely unseen.
+
+        For the shared-L2 hierarchy the resulting L1/owner state and the
+        L2 access sequence do not depend on the L2 configuration, so the
+        post-warm state is memoized per (warm schedule, L1 geometry) and
+        replayed for sweeps that vary only the L2 — bit-identical to a
+        full re-warm at a fraction of the cost.
         """
         chunk = 64
         walkers: list[tuple[int, Trace, int]] = []
@@ -175,6 +188,19 @@ class Machine:
                 for tr in ctx_traces:
                     walkers.append((core_id, tr, warm_len_of(tr)))
         hier = self.hierarchy
+        memo_key = None
+        if isinstance(hier, SharedL2Hierarchy):
+            p = hier.params
+            memo_key = (p.n_cores, p.l1d_kb, p.l1_assoc, passes, chunk,
+                        tuple((core_id, id(tr), warm_len)
+                              for core_id, tr, warm_len in walkers))
+            memo = _WARM_MEMO.get(memo_key)
+            if memo is not None:
+                hier.restore_warm_state(memo[0])
+                hier.reset_stats()
+                return
+            hier.begin_warm_log()
+        warm_block = hier.warm_block
         for _ in range(passes):
             cursors = [0] * len(walkers)
             pending = {w for w in range(len(walkers)) if walkers[w][2] > 0}
@@ -184,16 +210,19 @@ class Machine:
                     core_id, tr, warm_len = walkers[w]
                     pos = cursors[w]
                     end = min(pos + chunk, warm_len)
-                    addrs = tr.addrs
-                    flags = tr.flags
-                    warm = hier.warm_data
-                    for i in range(pos, end):
-                        warm(core_id, addrs[i], bool(flags[i] & 0x1))
+                    warm_block(core_id, tr.addrs, tr.flags, pos, end)
                     cursors[w] = end
                     if end >= warm_len:
                         done.append(w)
                 pending.difference_update(done)
-        hier.reset_stats()
+        if memo_key is not None:
+            if len(_WARM_MEMO) >= _WARM_MEMO_CAP:
+                _WARM_MEMO.pop(next(iter(_WARM_MEMO)))
+            # The memo holds the walkers' traces so the ids in the key
+            # stay pinned to these exact objects for the entry's lifetime.
+            _WARM_MEMO[memo_key] = (hier.capture_warm_state(),
+                                    tuple(tr for _, tr, _ in walkers))
+        self.hierarchy.reset_stats()
 
     # ------------------------------------------------------------------ #
     # Measurement                                                         #
@@ -361,16 +390,22 @@ class Machine:
         for idx, core in enumerate(cores):
             heapq.heappush(heap, (core.next_time(), seq, idx))
             seq += 1
-        pending = {id(ctx) for _, ctxs in active for ctx in ctxs}
+        # A step can only finish contexts on the stepped core, so track
+        # unfinished contexts per core instead of rescanning every context
+        # after every step (quadratic in active contexts otherwise).
+        unfinished: list[list] = [list(ctxs) for _, ctxs in active]
+        pending = sum(len(ctxs) for ctxs in unfinished)
         guard = 0
         while heap and pending:
             _, _, idx = heapq.heappop(heap)
             core = cores[idx]
             core.step()
-            for _, ctxs in active:
-                for ctx in ctxs:
-                    if id(ctx) in pending and ctx.finished_at is not math.inf:
-                        pending.discard(id(ctx))
+            mine = unfinished[idx]
+            if mine:
+                still = [ctx for ctx in mine if ctx.finished_at is math.inf]
+                if len(still) != len(mine):
+                    pending -= len(mine) - len(still)
+                    unfinished[idx] = still
             nt = core.next_time()
             if nt is not math.inf:
                 heapq.heappush(heap, (nt, seq, idx))

@@ -73,6 +73,9 @@ class Trace:
         "addrs",
         "flags",
         "regions",
+        "_total_instructions",
+        "_dependent_fraction",
+        "_write_fraction",
     )
 
     def __init__(
@@ -100,6 +103,14 @@ class Trace:
         self.ilp = ilp
         self.ilp_inorder = ilp * 0.75 if ilp_inorder is None else ilp_inorder
         self.branch_mpki = branch_mpki
+        # The trace is immutable, so aggregate scans can run once here
+        # instead of on every call (experiments query these per spec).
+        self._total_instructions = sum(icounts)
+        n = len(flags)
+        self._dependent_fraction = (
+            sum(1 for f in flags if f & FLAG_DEPENDENT) / n
+        )
+        self._write_fraction = sum(1 for f in flags if f & FLAG_WRITE) / n
 
     def __len__(self) -> int:
         return len(self.icounts)
@@ -107,7 +118,7 @@ class Trace:
     @property
     def total_instructions(self) -> int:
         """Instructions retired in one full pass over the trace."""
-        return sum(self.icounts)
+        return self._total_instructions
 
     @property
     def total_references(self) -> int:
@@ -116,13 +127,11 @@ class Trace:
 
     def dependent_fraction(self) -> float:
         """Fraction of references flagged DEPENDENT (pointer chasing)."""
-        dep = sum(1 for f in self.flags if f & FLAG_DEPENDENT)
-        return dep / len(self.flags)
+        return self._dependent_fraction
 
     def write_fraction(self) -> float:
         """Fraction of references that are writes."""
-        wr = sum(1 for f in self.flags if f & FLAG_WRITE)
-        return wr / len(self.flags)
+        return self._write_fraction
 
     def distinct_lines(self) -> int:
         """Number of distinct cache lines referenced (data only)."""
@@ -146,6 +155,9 @@ class TraceBuilder:
         self._addrs = array("Q")
         self._flags = array("B")
         self._regions = array("H")
+        # Bound append methods: event() runs once per traced reference.
+        self._appends = (self._icounts.append, self._addrs.append,
+                         self._flags.append, self._regions.append)
         self._footprints: list[CodeFootprint] = []
         self._footprint_ids: dict[str, int] = {}
 
@@ -176,10 +188,11 @@ class TraceBuilder:
         """
         if icount < 0:
             raise ValueError(f"negative icount {icount}")
-        self._icounts.append(min(icount, 0xFFFF_FFFF))
-        self._addrs.append(addr)
-        self._flags.append(flags & 0xFF)
-        self._regions.append(region)
+        add_icount, add_addr, add_flags, add_region = self._appends
+        add_icount(icount if icount <= 0xFFFF_FFFF else 0xFFFF_FFFF)
+        add_addr(addr)
+        add_flags(flags & 0xFF)
+        add_region(region)
 
     def build(self) -> Trace:
         """Freeze the builder into an immutable Trace."""

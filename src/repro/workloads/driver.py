@@ -8,7 +8,10 @@ The paper's configurations (Section 3):
 - unsaturated: a single client, intra-query parallelism disabled.
 
 Building traces is the expensive step (the engine actually executes every
-query and transaction), so bundles are memoized per parameter set.
+query and transaction), so bundles are memoized twice: per parameter set
+within a process (``functools.lru_cache``), and — when ``REPRO_TRACE_DIR``
+is set — across processes via :mod:`repro.workloads.tracestore`, which
+serves frozen trace bytes instead of re-running the engine.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from __future__ import annotations
 import functools
 
 from ..simulator.trace import Workload
+from . import tracestore
 from .tpcc import TpccDatabase
 from .tpch import TpchDatabase
 
@@ -39,36 +43,64 @@ DSS_SATURATED_CHUNKS = 4
 DSS_UNSAT_CHUNKS = 16
 
 
+def _stored(builder: str, params: dict, build) -> Workload:
+    """Consult the cross-process trace store before running ``build``.
+
+    The store key is (builder name, sorted params); the engine-version
+    salt is mixed in by the store itself.  With no ``REPRO_TRACE_DIR``
+    configured this is exactly ``build()``.
+    """
+    store = tracestore.active_store()
+    if store is None:
+        return build()
+    key = (builder, tuple(sorted(params.items())))
+    workload = store.get(key)
+    if workload is None:
+        workload = build()
+        store.put(key, workload)
+    return workload
+
+
 @functools.lru_cache(maxsize=16)
 def oltp_workload(scale: float = 1.0, n_clients: int = SATURATED_OLTP_CLIENTS,
                   txns_per_client: int = OLTP_TXNS_PER_CLIENT,
                   seed: int = 42) -> Workload:
     """Saturated OLTP bundle: ``n_clients`` TPC-C client traces."""
-    tpcc = TpccDatabase(scale=scale, seed=seed)
-    traces = [
-        tpcc.run_client(c, txns_per_client) for c in range(n_clients)
-    ]
-    return Workload(
-        name=f"tpcc-sat-{n_clients}c",
-        traces=traces,
-        kind="oltp",
-        saturated=True,
-        metadata={"scale": scale, "txns_per_client": txns_per_client},
-    )
+    def build() -> Workload:
+        tpcc = TpccDatabase(scale=scale, seed=seed)
+        traces = [
+            tpcc.run_client(c, txns_per_client) for c in range(n_clients)
+        ]
+        return Workload(
+            name=f"tpcc-sat-{n_clients}c",
+            traces=traces,
+            kind="oltp",
+            saturated=True,
+            metadata={"scale": scale, "txns_per_client": txns_per_client},
+        )
+
+    return _stored("oltp_workload",
+                   {"scale": scale, "n_clients": n_clients,
+                    "txns_per_client": txns_per_client, "seed": seed},
+                   build)
 
 
 @functools.lru_cache(maxsize=16)
 def oltp_unsaturated(scale: float = 1.0, seed: int = 42,
                      txns: int = OLTP_UNSAT_TXNS) -> Workload:
     """Unsaturated OLTP bundle: one client, one transaction stream."""
-    tpcc = TpccDatabase(scale=scale, seed=seed)
-    return Workload(
-        name="tpcc-unsat",
-        traces=[tpcc.run_client(0, txns)],
-        kind="oltp",
-        saturated=False,
-        metadata={"scale": scale},
-    )
+    def build() -> Workload:
+        tpcc = TpccDatabase(scale=scale, seed=seed)
+        return Workload(
+            name="tpcc-unsat",
+            traces=[tpcc.run_client(0, txns)],
+            kind="oltp",
+            saturated=False,
+            metadata={"scale": scale},
+        )
+
+    return _stored("oltp_unsaturated",
+                   {"scale": scale, "seed": seed, "txns": txns}, build)
 
 
 @functools.lru_cache(maxsize=16)
@@ -80,31 +112,39 @@ def dss_workload(scale: float = 1.0, n_clients: int = SATURATED_DSS_CLIENTS,
     with more clients than chunks, chunk ownership wraps (several clients
     re-scan the same partition — the over-saturated regime of Fig. 2).
     """
-    tpch = TpchDatabase(scale=scale, seed=seed)
-    traces = [
-        tpch.run_client(c, DSS_SATURATED_CHUNKS, repeats=2)
-        for c in range(n_clients)
-    ]
-    return Workload(
-        name=f"tpch-sat-{n_clients}c",
-        traces=traces,
-        kind="dss",
-        saturated=True,
-        metadata={"scale": scale},
-    )
+    def build() -> Workload:
+        tpch = TpchDatabase(scale=scale, seed=seed)
+        traces = [
+            tpch.run_client(c, DSS_SATURATED_CHUNKS, repeats=2)
+            for c in range(n_clients)
+        ]
+        return Workload(
+            name=f"tpch-sat-{n_clients}c",
+            traces=traces,
+            kind="dss",
+            saturated=True,
+            metadata={"scale": scale},
+        )
+
+    return _stored("dss_workload",
+                   {"scale": scale, "n_clients": n_clients, "seed": seed},
+                   build)
 
 
 @functools.lru_cache(maxsize=16)
 def dss_unsaturated(scale: float = 1.0, seed: int = 7) -> Workload:
     """Unsaturated DSS bundle: one client running the four-query mix."""
-    tpch = TpchDatabase(scale=scale, seed=seed)
-    return Workload(
-        name="tpch-unsat",
-        traces=[tpch.run_client(0, DSS_UNSAT_CHUNKS, repeats=2)],
-        kind="dss",
-        saturated=False,
-        metadata={"scale": scale},
-    )
+    def build() -> Workload:
+        tpch = TpchDatabase(scale=scale, seed=seed)
+        return Workload(
+            name="tpch-unsat",
+            traces=[tpch.run_client(0, DSS_UNSAT_CHUNKS, repeats=2)],
+            kind="dss",
+            saturated=False,
+            metadata={"scale": scale},
+        )
+
+    return _stored("dss_unsaturated", {"scale": scale, "seed": seed}, build)
 
 
 @functools.lru_cache(maxsize=32)
@@ -121,36 +161,42 @@ def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
     """
     if n_partitions < 1:
         raise ValueError("need at least one partition")
-    from ..db.exec import AggSpec, Filter, SeqScan, StreamAggregate
-    from .tpch import DSS_BRANCH_MPKI, DSS_ILP, DSS_ILP_INORDER
 
-    tpch = TpchDatabase(scale=scale, seed=seed)
-    rows = min(tpch.n_lineitem, max(n_partitions,
-                                    round(rows_nominal * scale)))
-    per = rows // n_partitions
-    traces = []
-    for p in range(n_partitions):
-        lo = p * per
-        hi = rows if p == n_partitions - 1 else lo + per
-        sess = tpch.db.session(
-            f"q6-part{p}", ilp=DSS_ILP, branch_mpki=DSS_BRANCH_MPKI,
-            ilp_inorder=DSS_ILP_INORDER,
+    def build() -> Workload:
+        from ..db.exec import AggSpec, Filter, SeqScan, StreamAggregate
+        from .tpch import DSS_BRANCH_MPKI, DSS_ILP, DSS_ILP_INORDER
+
+        tpch = TpchDatabase(scale=scale, seed=seed)
+        rows = min(tpch.n_lineitem, max(n_partitions,
+                                        round(rows_nominal * scale)))
+        per = rows // n_partitions
+        traces = []
+        for p in range(n_partitions):
+            lo = p * per
+            hi = rows if p == n_partitions - 1 else lo + per
+            sess = tpch.db.session(
+                f"q6-part{p}", ilp=DSS_ILP, branch_mpki=DSS_BRANCH_MPKI,
+                ilp_inorder=DSS_ILP_INORDER,
+            )
+            scan = SeqScan(sess.ctx, tpch.lineitem, start=lo, stop=hi)
+            filt = Filter(sess.ctx, scan,
+                          lambda r: r[5] >= 0.05 and r[3] < 24, n_terms=3)
+            agg = StreamAggregate(sess.ctx, filt, [
+                AggSpec("sum", lambda r: r[4] * r[5], "revenue"),
+            ])
+            agg.execute()
+            traces.append(sess.finish())
+        return Workload(
+            name=f"dss-parallel-{n_partitions}p",
+            traces=traces,
+            kind="dss",
+            saturated=False,
+            metadata={"scale": scale, "partitions": n_partitions},
         )
-        scan = SeqScan(sess.ctx, tpch.lineitem, start=lo, stop=hi)
-        filt = Filter(sess.ctx, scan,
-                      lambda r: r[5] >= 0.05 and r[3] < 24, n_terms=3)
-        agg = StreamAggregate(sess.ctx, filt, [
-            AggSpec("sum", lambda r: r[4] * r[5], "revenue"),
-        ])
-        agg.execute()
-        traces.append(sess.finish())
-    return Workload(
-        name=f"dss-parallel-{n_partitions}p",
-        traces=traces,
-        kind="dss",
-        saturated=False,
-        metadata={"scale": scale, "partitions": n_partitions},
-    )
+
+    return _stored("dss_parallel_query",
+                   {"scale": scale, "n_partitions": n_partitions,
+                    "seed": seed, "rows_nominal": rows_nominal}, build)
 
 
 def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,

@@ -21,7 +21,9 @@ from repro.core import bench
 from repro.core.bench import (
     BENCH_MODES,
     BENCH_SCHEMA,
+    compare_bench,
     format_bench,
+    load_baseline,
     run_bench,
     validate_bench,
 )
@@ -32,7 +34,8 @@ from repro.core.parallel import CODE_VERSION
 def clean_env(monkeypatch):
     for var in ("REPRO_TELEMETRY", "REPRO_FAULTS", "REPRO_RETRIES",
                 "REPRO_TIMEOUT", "REPRO_BACKOFF", "REPRO_FAIL_FAST",
-                "REPRO_CHECKPOINT", "REPRO_JOBS", "REPRO_CACHE_DIR"):
+                "REPRO_CHECKPOINT", "REPRO_JOBS", "REPRO_CACHE_DIR",
+                "REPRO_TRACE_DIR"):
         monkeypatch.delenv(var, raising=False)
     return monkeypatch
 
@@ -83,6 +86,18 @@ class TestQuickBench:
         assert serial["accesses"] == cold["accesses"] > 0
         assert serial["cache"] is None  # serial mode is the pure baseline
 
+    def test_phase_split_attributes_the_wall_time(self, quick_record):
+        record, _ = quick_record
+        for run in record["runs"]:
+            assert run["trace_build_seconds"] >= 0
+            assert run["simulate_seconds"] >= 0
+            # The two phases partition the wall (rounding slack only).
+            assert (run["trace_build_seconds"] + run["simulate_seconds"]
+                    <= run["wall_seconds"] + 1e-3)
+        # The serial run starts with cleared memoizers and an empty trace
+        # store, so it pays the real engine-execution cost up front.
+        assert record["runs"][0]["trace_build_seconds"] > 0
+
     def test_format_bench_renders(self, quick_record):
         record, _ = quick_record
         text = format_bench(record)
@@ -104,9 +119,10 @@ def test_monotonic_clocks_only(clean_env, monkeypatch):
 
 class TestValidateBench:
     def _minimal(self):
-        run = {"mode": "serial", "wall_seconds": 1.0, "specs": 3,
-               "simulated": 3, "accesses": 100, "accesses_per_sec": 100.0,
-               "cache": None}
+        run = {"mode": "serial", "wall_seconds": 1.0,
+               "trace_build_seconds": 0.4, "simulate_seconds": 0.6,
+               "specs": 3, "simulated": 3, "accesses": 100,
+               "accesses_per_sec": 100.0, "cache": None}
         warm_cache = {"hits": 3, "misses": 0, "stores": 0, "errors": 0}
         return {
             "schema": BENCH_SCHEMA,
@@ -160,6 +176,74 @@ class TestValidateBench:
         with pytest.raises(ValueError, match="config missing"):
             validate_bench(record)
 
+    def test_rejects_missing_phase_split(self):
+        record = self._minimal()
+        del record["runs"][0]["trace_build_seconds"]
+        with pytest.raises(ValueError, match="trace_build_seconds"):
+            validate_bench(record)
+
+    def test_accepts_compare_annotation(self):
+        record = self._minimal()
+        record["compare"] = compare_bench(record, self._minimal(),
+                                          baseline_path="BENCH_OLD.json")
+        validate_bench(record)
+        record["compare"] = "not-an-object"
+        with pytest.raises(ValueError, match="compare"):
+            validate_bench(record)
+
+
+class TestCompare:
+    def _record(self, walls):
+        return {"schema": BENCH_SCHEMA, "commit": "abc123",
+                "runs": [{"mode": mode, "wall_seconds": wall}
+                         for mode, wall in walls.items()]}
+
+    def test_per_mode_and_total_speedups(self):
+        new = self._record({"serial": 1.0, "parallel-cold": 0.5,
+                            "parallel-warm": 0.1})
+        base = self._record({"serial": 2.0, "parallel-cold": 2.0,
+                             "parallel-warm": 0.2})
+        cmp = compare_bench(new, base, baseline_path="b.json")
+        assert cmp["modes"]["serial"]["speedup"] == 2.0
+        assert cmp["modes"]["parallel-cold"]["speedup"] == 4.0
+        assert cmp["total_baseline_seconds"] == pytest.approx(4.2)
+        assert cmp["total_speedup"] == pytest.approx(2.625)
+        assert cmp["baseline_commit"] == "abc123"
+
+    def test_missing_baseline_mode_contributes_nothing(self):
+        new = self._record({"serial": 1.0, "parallel-cold": 0.5})
+        base = self._record({"serial": 3.0})
+        cmp = compare_bench(new, base)
+        assert "parallel-cold" not in cmp["modes"]
+        assert cmp["total_baseline_seconds"] == 3.0
+        assert cmp["total_wall_seconds"] == 1.0
+
+    def test_format_renders_comparison(self):
+        new = self._record({"serial": 1.0})
+        new.update({"code_version": CODE_VERSION, "python": "3.x",
+                    "platform": "test"})
+        new["runs"][0].update({"trace_build_seconds": 0.4,
+                               "simulate_seconds": 0.6, "specs": 1,
+                               "simulated": 1, "accesses": 10,
+                               "accesses_per_sec": 10.0,
+                               "worker_utilization": 1.0, "cache": None})
+        new["compare"] = compare_bench(new, self._record({"serial": 2.0}),
+                                       baseline_path="b.json")
+        assert "total 2.0x" in format_bench(new)
+
+    def test_load_baseline_is_tolerant(self, tmp_path):
+        assert load_baseline(str(tmp_path / "missing.json")) is None
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert load_baseline(str(bad)) is None
+        shapeless = tmp_path / "shapeless.json"
+        shapeless.write_text('{"schema": "x"}')
+        assert load_baseline(str(shapeless)) is None
+        ok = tmp_path / "ok.json"
+        ok.write_text('{"schema": "repro-bench-v1", "runs": []}')
+        assert load_baseline(str(ok)) == {"schema": "repro-bench-v1",
+                                          "runs": []}
+
 
 @pytest.mark.slow
 def test_cli_and_standalone_entry_points(clean_env, tmp_path, capsys):
@@ -187,4 +271,4 @@ def test_cli_and_standalone_entry_points(clean_env, tmp_path, capsys):
 
 
 def test_default_out_is_repo_root_snapshot():
-    assert bench.DEFAULT_OUT == "BENCH_PR3.json"
+    assert bench.DEFAULT_OUT == "BENCH_PR4.json"

@@ -202,6 +202,48 @@ class TestCodePressure:
         assert cp.touch(0x9000, 1) <= 1.0 - 10 / 41
 
 
+class TestL2BanksValidation:
+    def test_powers_of_two_accepted(self):
+        for banks in (1, 2, 4, 8, 64):
+            h = make(l2_banks=banks)
+            assert h.params.l2_banks == banks
+
+    def test_zero_rejected(self):
+        # 0 & -1 == 0, so a plain mask test would let it through.
+        with pytest.raises(ValueError, match="power of two"):
+            make(l2_banks=0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make(l2_banks=-4)
+
+    def test_non_power_of_two_rejected(self):
+        for banks in (3, 6, 12, 100):
+            with pytest.raises(ValueError, match="power of two"):
+                make(l2_banks=banks)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            make(l2_banks=4.0)
+
+
+def _random_pattern(seed, n=600, cores=2):
+    import random
+    rng = random.Random(seed)
+    return [(rng.randrange(cores),
+             COLD + rng.randrange(1 << 20) // 64 * 64,
+             rng.random() < 0.4) for _ in range(n)]
+
+
+def _l1_state(h):
+    """Full L1 state including LRU order (dicts are insertion-ordered)."""
+    return [[list(s.items()) for s in cache._sets] for cache in h.l1d_caches]
+
+
+def _l2_state(h):
+    return [list(s.items()) for s in h.l2._sets]
+
+
 class TestWarm:
     def test_warm_matches_access_state(self):
         """Functional warming leaves the same cache state as timed access."""
@@ -218,3 +260,69 @@ class TestWarm:
             for c in range(2):
                 assert ((line in a.l1d_caches[c])
                         == (line in b.l1d_caches[c]))
+
+    def test_warm_block_matches_warm_data_exactly(self):
+        """The batched warm loop lands byte-for-byte where warm_data does.
+
+        Compares full per-set dict contents *in insertion (LRU) order*,
+        the owner map, and the L2 — not just membership — because the
+        measured phase's victim choices depend on that order.
+        """
+        pattern = _random_pattern(11)
+        a, b = make(), make()
+        for core, addr, wr in pattern:
+            a.warm_data(core, addr, wr)
+        addrs = [p[1] for p in pattern]
+        flags = [0x1 if p[2] else 0 for p in pattern]
+        # Feed warm_block per-core runs exactly as Machine._warm does.
+        i = 0
+        while i < len(pattern):
+            j = i
+            core = pattern[i][0]
+            while j < len(pattern) and pattern[j][0] == core:
+                j += 1
+            b.warm_block(core, addrs, flags, i, j)
+            i = j
+        assert _l1_state(a) == _l1_state(b)
+        assert _l2_state(a) == _l2_state(b)
+        assert a._l1_owners == b._l1_owners
+
+    def test_capture_restore_replays_identically(self):
+        """A captured warm state restored onto a fresh hierarchy matches
+        the original: L1 sets (with LRU order), owners, and the L2 —
+        the warm-memo fast path in Machine._warm relies on this."""
+        pattern = _random_pattern(12)
+        a = make()
+        a.begin_warm_log()
+        addrs = [p[1] for p in pattern]
+        flags = [0x1 if p[2] else 0 for p in pattern]
+        i = 0
+        while i < len(pattern):
+            j = i
+            core = pattern[i][0]
+            while j < len(pattern) and pattern[j][0] == core:
+                j += 1
+            a.warm_block(core, addrs, flags, i, j)
+            i = j
+        state = a.capture_warm_state()
+        b = make()
+        b.restore_warm_state(state)
+        assert _l1_state(a) == _l1_state(b)
+        assert _l2_state(a) == _l2_state(b)
+        assert a._l1_owners == b._l1_owners
+
+    def test_restore_does_not_alias_captured_state(self):
+        """Mutating a restored hierarchy must not corrupt the memo entry."""
+        pattern = _random_pattern(13, n=200)
+        a = make()
+        a.begin_warm_log()
+        addrs = [p[1] for p in pattern]
+        flags = [0x1 if p[2] else 0 for p in pattern]
+        a.warm_block(0, addrs, flags, 0, len(pattern))
+        state = a.capture_warm_state()
+        b = make()
+        b.restore_warm_state(state)
+        before = [list(s.items()) for s in state[0][0]]
+        for core, addr, wr in _random_pattern(14, n=200):
+            b.data_access(core, addr, wr, 0.0)
+        assert [list(s.items()) for s in state[0][0]] == before

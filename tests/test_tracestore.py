@@ -1,0 +1,221 @@
+"""Cross-process trace store: round-trip fidelity and corruption safety.
+
+The store may *never* change results (a stored+reloaded workload must be
+bit-identical to a freshly built one) and may *never* crash a run (any
+corrupt, truncated, or colliding entry is detected, counted, and treated
+as a miss so the caller rebuilds).
+"""
+
+import dataclasses
+from array import array
+
+import pytest
+
+from repro.core.parallel import WARM_FRACTIONS
+from repro.simulator.configs import fc_cmp
+from repro.simulator.machine import Machine
+from repro.simulator.trace import CodeFootprint, Trace, Workload
+from repro.workloads import driver
+from repro.workloads.tracestore import (
+    ENV_TRACE_DIR,
+    _HEADER,
+    _MAGIC,
+    TraceStore,
+    store_for,
+)
+
+#: Matches the determinism/golden suites so the process-level lru_cache
+#: shares the (expensive) builds with them in a full test run.
+SCALE = 0.02
+
+BUNDLES = [
+    ("oltp", "saturated"),
+    ("oltp", "unsaturated"),
+    ("dss", "saturated"),
+    ("dss", "unsaturated"),
+]
+
+
+@pytest.fixture(autouse=True)
+def no_ambient_store(monkeypatch):
+    """Keep the driver's store wiring out of tests that build directly."""
+    monkeypatch.delenv(ENV_TRACE_DIR, raising=False)
+
+
+def _clear_driver_caches():
+    for memo in (driver.oltp_workload, driver.oltp_unsaturated,
+                 driver.dss_workload, driver.dss_unsaturated,
+                 driver.dss_parallel_query):
+        memo.cache_clear()
+
+
+def _tiny_workload(name="tiny"):
+    """A hand-built two-trace workload (no engine run needed)."""
+    traces = []
+    for i in range(2):
+        n = 50 + i
+        traces.append(Trace(
+            name=f"{name}-client-{i}",
+            icounts=array("I", range(1, n + 1)),
+            addrs=array("Q", (0x4000_0000 + 64 * j for j in range(n))),
+            flags=array("B", (j % 8 for j in range(n))),
+            regions=array("H", (0 for _ in range(n))),
+            footprints=[CodeFootprint(name="code", base=0x1000, n_lines=8)],
+            ilp=2.0,
+            branch_mpki=5.0,
+            ilp_inorder=1.0,
+        ))
+    return Workload(name=name, traces=traces, kind="dss", saturated=False,
+                    metadata={"scale": 1.0})
+
+
+def _traces_equal(a: Workload, b: Workload) -> bool:
+    if len(a.traces) != len(b.traces):
+        return False
+    for ta, tb in zip(a.traces, b.traces):
+        if (ta.name, ta.ilp, ta.ilp_inorder, ta.branch_mpki) != \
+                (tb.name, tb.ilp, tb.ilp_inorder, tb.branch_mpki):
+            return False
+        if (ta.icounts, ta.addrs, ta.flags, ta.regions) != \
+                (tb.icounts, tb.addrs, tb.flags, tb.regions):
+            return False
+        if [(f.name, f.base, f.n_lines) for f in ta.footprints] != \
+                [(f.name, f.base, f.n_lines) for f in tb.footprints]:
+            return False
+    return True
+
+
+def _simulate(workload: Workload, kind: str, regime: str):
+    config = fc_cmp(n_cores=2, l2_nominal_mb=1.0, scale=SCALE)
+    return Machine(config).run(
+        workload,
+        mode="response" if regime == "unsaturated" else "throughput",
+        measure_cycles=20_000,
+        warm_fraction=WARM_FRACTIONS[kind],
+    )
+
+
+class TestRoundTrip:
+    def test_tiny_workload_survives_byte_for_byte(self, tmp_path):
+        store = TraceStore(tmp_path)
+        w = _tiny_workload()
+        store.put(("k", 1), w)
+        assert store.stats.stores == 1
+        got = store.get(("k", 1))
+        assert got is not None and got is not w
+        assert _traces_equal(w, got)
+        assert (got.name, got.kind, got.saturated, got.metadata) == \
+            (w.name, w.kind, w.saturated, w.metadata)
+        assert store.stats.hits == 1 and store.stats.errors == 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kind,regime", BUNDLES)
+    def test_reloaded_bundle_gives_identical_machine_result(
+            self, tmp_path, kind, regime):
+        """The tentpole contract, per (kind, regime) bundle: simulating a
+        stored+reloaded workload yields a field-for-field identical
+        MachineResult — not approximately, identically."""
+        fresh = driver.workload_for(kind, regime, SCALE)
+        store = TraceStore(tmp_path)
+        key = ("roundtrip", kind, regime, SCALE)
+        store.put(key, fresh)
+        thawed = store.get(key)
+        assert thawed is not None and thawed is not fresh
+        assert _traces_equal(fresh, thawed)
+        r_fresh = _simulate(fresh, kind, regime)
+        r_thawed = _simulate(thawed, kind, regime)
+        assert dataclasses.asdict(r_fresh) == dataclasses.asdict(r_thawed)
+
+
+class TestCorruption:
+    def _stored_path(self, tmp_path, key=("k", 1)):
+        store = TraceStore(tmp_path)
+        store.put(key, _tiny_workload())
+        return store, store.path_for(key)
+
+    def test_truncated_entry_is_miss_then_rebuilt(self, tmp_path):
+        store, path = self._stored_path(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) - 10])
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1 and store.stats.misses == 1
+        assert not path.exists()          # bad entry removed...
+        store.put(("k", 1), _tiny_workload())
+        assert store.get(("k", 1)) is not None   # ...and rebuilt cleanly
+
+    def test_truncated_header_is_miss(self, tmp_path):
+        store, path = self._stored_path(tmp_path)
+        path.write_bytes(b"RT")
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path):
+        store, path = self._stored_path(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[_HEADER.size + 7] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
+
+    def test_bad_magic_is_miss(self, tmp_path):
+        store, path = self._stored_path(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[:4] = b"XXXX"
+        path.write_bytes(bytes(blob))
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
+        assert _MAGIC == b"RTRC"
+
+    def test_key_echo_rejects_misfiled_entry(self, tmp_path):
+        """An entry sitting at the wrong path (hash collision, copied
+        file) is rejected by the embedded key echo."""
+        store, path = self._stored_path(tmp_path, key=("k", 1))
+        other = store.path_for(("k", 2))
+        other.parent.mkdir(parents=True, exist_ok=True)
+        other.write_bytes(path.read_bytes())
+        assert store.get(("k", 2)) is None
+        assert store.stats.errors == 1
+
+    def test_garbage_payload_is_miss(self, tmp_path):
+        import hashlib
+        store = TraceStore(tmp_path)
+        payload = b"not a pickle"
+        blob = _HEADER.pack(_MAGIC, len(payload),
+                            hashlib.sha256(payload).digest()) + payload
+        path = store.path_for(("k", 1))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
+
+    def test_missing_entry_is_plain_miss_not_error(self, tmp_path):
+        store = TraceStore(tmp_path)
+        assert store.get(("absent",)) is None
+        assert store.stats.misses == 1 and store.stats.errors == 0
+
+
+class TestDriverWiring:
+    @pytest.mark.slow
+    def test_second_process_equivalent_build_is_served_from_store(
+            self, tmp_path, monkeypatch):
+        """Clearing the lru_cache stands in for a new process: the second
+        build must come from the store and carry identical arrays."""
+        monkeypatch.setenv(ENV_TRACE_DIR, str(tmp_path))
+        _clear_driver_caches()
+        try:
+            w1 = driver.dss_unsaturated(scale=SCALE)
+            store = store_for(str(tmp_path))
+            assert store.stats.stores == 1
+            _clear_driver_caches()
+            w2 = driver.dss_unsaturated(scale=SCALE)
+            assert store.stats.hits == 1
+            assert w2 is not w1
+            assert _traces_equal(w1, w2)
+        finally:
+            # Leave no store-thawed workloads memoized for other tests.
+            _clear_driver_caches()
+
+    def test_unset_env_disables_store(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_TRACE_DIR, "")
+        from repro.workloads.tracestore import active_store
+        assert active_store() is None
