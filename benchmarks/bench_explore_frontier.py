@@ -1,0 +1,28 @@
+"""Design-space frontier: model-screened, simulator-confirmed (DESIGN.md §10)."""
+
+
+from conftest import emit
+
+from repro.explore import explore, format_explore
+
+
+def frontier(exp):
+    """The full prune-then-confirm loop on the CI smoke budget."""
+    report = explore(exp, quick=True, validate=True)
+    return report, format_explore(report)
+
+
+def test_explore_frontier(benchmark, exp):
+    report, text = benchmark.pedantic(frontier, args=(exp,),
+                                      rounds=1, iterations=1)
+    emit("Design-space exploration — equal-area Pareto frontier", text)
+    # The screening pass covers the whole space fast...
+    assert report.n_candidates >= 100
+    assert report.screen_seconds < 5.0
+    # ...the simulator confirms a non-empty frontier for both camps...
+    assert report.confirmed
+    assert {r.camp for r in report.confirmed} == {"fc", "lc"}
+    # ...reproducing the paper's equal-area claims with the model
+    # within its acceptance bound on the held-out configs.
+    assert report.all_checks_pass
+    assert report.validation is not None and report.validation.within_bound

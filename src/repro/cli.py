@@ -23,6 +23,15 @@ Observability (see DESIGN.md §7)::
     python -m repro stats .telemetry                       # sweep summary
     python -m repro bench --quick                          # BENCH_*.json
 
+Analytical model + design-space explorer (see DESIGN.md §10)::
+
+    python -m repro model fit --model-out model.json  # calibrate + save
+    python -m repro model predict --camp lc --cores 8 --l2-mb 4
+    python -m repro model validate                    # held-out error table
+    python -m repro validate --model                  # same table
+    python -m repro explore                           # prune-then-confirm
+    python -m repro explore --quick --jobs 4          # CI smoke budget
+
 Parallelism, caching, and resilience can also be driven from the
 environment: ``REPRO_JOBS`` sets the default worker count,
 ``REPRO_CACHE_DIR`` the persistent result-cache root,
@@ -144,6 +153,98 @@ def run_bench_cmd(quick: bool, out_path: str | None,
     return 0
 
 
+def run_explore_cmd(args) -> int:
+    """The prune-then-confirm loop (``repro explore``).
+
+    Exit code 0 only when the confirmed frontier is non-empty, the
+    paper's qualitative checks hold, and the held-out model error is
+    within the bound — so CI can smoke-test the whole subsystem with a
+    single invocation.
+    """
+    from .explore import explore, format_explore
+
+    exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
+                     use_cache=not args.no_cache)
+    try:
+        report = explore(exp, budget_mm2=args.budget, quick=args.quick)
+    except SweepError as err:
+        print(f"explore: sweep failed — {err}", file=sys.stderr)
+        return 1
+    print(format_explore(report))
+    _print_cache_stats(exp)
+    ok = (bool(report.confirmed)
+          and report.all_checks_pass
+          and (report.validation is None or report.validation.within_bound))
+    if not ok:
+        print("explore: confirmation failed (empty frontier, a "
+              "qualitative check, or the model error bound)",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
+def run_model_cmd(verb: str, args) -> int:
+    """The ``repro model fit|predict|validate`` verbs."""
+    from .core.validation import format_model_validation, validate_model
+    from .model import calibrate
+    from .model.calibrate import CalibratedModel
+
+    exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
+                     use_cache=not args.no_cache)
+
+    def resolve_model():
+        if args.model_in:
+            model = CalibratedModel.load(args.model_in)
+            if model.scale != exp.scale:
+                print(f"note: model was calibrated at scale "
+                      f"{model.scale:g}, predicting at {exp.scale:g}",
+                      file=sys.stderr)
+            return model
+        return calibrate.fit(exp)
+
+    if verb == "fit":
+        model = calibrate.fit(exp)
+        out = args.model_out or "model.json"
+        model.save(out)
+        cells = ", ".join("/".join(c) for c in sorted(model.signatures))
+        print(f"calibrated {len(model.signatures)} signatures "
+              f"(scale {exp.scale:g}): {cells}")
+        print(f"wrote {out}")
+        _print_cache_stats(exp)
+        return 0
+    if verb == "validate":
+        model = resolve_model() if args.model_in else None
+        report = validate_model(exp, model=model)
+        print(format_model_validation(report))
+        _print_cache_stats(exp)
+        return 0 if report.within_bound else 1
+    if verb == "predict":
+        from .core.reporting import format_table
+
+        model = resolve_model()
+        config = calibrate.config_for(
+            args.camp, args.l2_mb, exp.scale,
+            n_cores=args.cores, l2_banks=args.banks)
+        rows = []
+        for kind in ("oltp", "dss"):
+            for regime in ("saturated", "unsaturated"):
+                p = model.predict(config, kind, regime)
+                rows.append([
+                    kind, regime, p.thread_cpi, p.ipc,
+                    "-" if p.response_cycles is None
+                    else f"{p.response_cycles:.3g}",
+                    f"{p.utilization:.0%}", p.queue_wait,
+                ])
+        print(format_table(
+            ["kind", "regime", "CPI", "chip IPC", "response cyc",
+             "L2 util", "bank wait"],
+            rows, title=f"model predictions — {config.name} "
+                        f"({args.banks} banks)"))
+        return 0
+    print(f"unknown model verb {verb!r} "
+          "(expected fit, predict, or validate)", file=sys.stderr)
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -188,15 +289,39 @@ def main(argv: list[str] | None = None) -> int:
                              "(the CI configuration)")
     parser.add_argument("--bench-out", metavar="PATH", default=None,
                         help="with 'bench': output JSON path (default: "
-                             "BENCH_PR4.json)")
+                             "BENCH_PR5.json)")
     parser.add_argument("--compare", metavar="PATH", default=None,
                         help="with 'bench': annotate timing deltas against "
                              "an earlier BENCH_*.json snapshot (never fails "
                              "on a missing or old-schema baseline)")
+    parser.add_argument("--model", action="store_true",
+                        help="with 'validate': compare the analytical "
+                             "model against the simulator on held-out "
+                             "configs instead of the Fig. 3 stack")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="with 'explore': equal-area silicon budget "
+                             "in mm^2 (default: the 4-core fat baseline "
+                             "chip, or the small CI budget with --quick)")
+    parser.add_argument("--model-out", metavar="PATH", default=None,
+                        help="with 'model fit': where to write the "
+                             "calibrated model JSON (default: model.json)")
+    parser.add_argument("--model-in", metavar="PATH", default=None,
+                        help="with 'model predict/validate': load a "
+                             "previously fitted model instead of "
+                             "recalibrating")
+    parser.add_argument("--camp", choices=["fc", "lc"], default="fc",
+                        help="with 'model predict': core camp")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="with 'model predict': core count")
+    parser.add_argument("--l2-mb", type=float, default=26.0,
+                        help="with 'model predict': nominal L2 MB")
+    parser.add_argument("--banks", type=int, default=4,
+                        help="with 'model predict': L2 bank count")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', "
                              "'profile <oltp|dss>', 'stats <telemetry>', "
-                             "or 'bench'")
+                             "'bench', 'explore', or "
+                             "'model <fit|predict|validate>'")
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
@@ -235,6 +360,9 @@ def main(argv: list[str] | None = None) -> int:
         print("  profile <oltp|dss>")
         print("  stats <telemetry-dir-or-.jsonl>")
         print("  bench      (perf-regression snapshot; see --quick)")
+        print("  explore    (equal-area design-space exploration; "
+              "see --quick/--budget)")
+        print("  model <fit|predict|validate>   (analytical model)")
         return 0
     if targets[0] == "profile":
         if len(targets) != 2 or targets[1] not in ("oltp", "dss"):
@@ -255,7 +383,22 @@ def main(argv: list[str] | None = None) -> int:
                   "[--compare PATH]", file=sys.stderr)
             return 2
         return run_bench_cmd(args.quick, args.bench_out, args.compare)
+    if targets[0] == "explore":
+        if len(targets) != 1:
+            print("usage: repro explore [--quick] [--budget MM2]",
+                  file=sys.stderr)
+            return 2
+        return run_explore_cmd(args)
+    if targets[0] == "model":
+        verbs = ("fit", "predict", "validate")
+        if len(targets) != 2 or targets[1] not in verbs:
+            print("usage: repro model <fit|predict|validate>",
+                  file=sys.stderr)
+            return 2
+        return run_model_cmd(targets[1], args)
     if targets[0] == "validate":
+        if args.model:
+            return run_model_cmd("validate", args)
         return run_figures(["fig3"], args.scale,
                            cache_dir=args.cache_dir,
                            use_cache=not args.no_cache)

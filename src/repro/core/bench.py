@@ -23,7 +23,7 @@ regression) to the right layer.
 
 All durations are monotonic (``time.perf_counter`` deltas only — recorded
 durations never touch the wall clock, which ``tests/test_bench_harness.py``
-locks down).  The result is written as ``BENCH_PR4.json`` at the repo
+locks down).  The result is written as ``BENCH_PR5.json`` at the repo
 root: one schema-versioned snapshot per PR, so future PRs can diff the
 trajectory and catch harness regressions without re-deriving a baseline.
 
@@ -64,7 +64,7 @@ __all__ = [
 BENCH_SCHEMA = "repro-bench-v2"
 
 #: Default output filename (repo root).
-DEFAULT_OUT = "BENCH_PR4.json"
+DEFAULT_OUT = "BENCH_PR5.json"
 
 #: The three timed execution paths, in run order (warm must follow cold).
 BENCH_MODES = ("serial", "parallel-cold", "parallel-warm")

@@ -18,11 +18,12 @@ Absolute CPI depends on the trace cost model, so the harness compares
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..simulator.configs import fc_cmp
 from .counters import cpi_stack
 from .experiment import Experiment
+from .reporting import format_table
 
 #: The OpenPower720 CPI stack as published in Figure 3 (values read off
 #: the figure: total CPI ~1.2 for saturated DSS, computation the largest
@@ -107,3 +108,114 @@ def validate(exp: Experiment,
         dstall_higher_than_hw=ours_shares["d_stalls"]
         > ref_shares["d_stalls"],
     )
+
+
+# ---------------------------------------------------------------------- #
+# Model-vs-simulator validation (DESIGN.md §10.2)                         #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ModelErrorRow:
+    """One held-out configuration: prediction vs. simulation.
+
+    Attributes:
+        config_name: The configuration label.
+        kind: Workload kind.
+        camp: Core camp.
+        regime: Measurement regime.
+        l2_nominal_mb: The held-out L2 size.
+        predicted: Model-predicted metric value.
+        measured: Simulator-measured metric value.
+    """
+
+    config_name: str
+    kind: str
+    camp: str
+    regime: str
+    l2_nominal_mb: float
+    predicted: float
+    measured: float
+
+    @property
+    def rel_error(self) -> float:
+        """Signed relative error, ``(predicted - measured) / measured``."""
+        if not self.measured:
+            return float("inf") if self.predicted else 0.0
+        return (self.predicted - self.measured) / self.measured
+
+
+@dataclass
+class ModelValidationReport:
+    """Per-config relative errors *alongside* the aggregates.
+
+    Attributes:
+        metric: What was compared ("throughput (IPC)", ...).
+        rows: One :class:`ModelErrorRow` per held-out configuration.
+        bound: The acceptance bound on :attr:`mae`.
+    """
+
+    metric: str
+    rows: list[ModelErrorRow] = field(default_factory=list)
+    bound: float = 0.15
+
+    @property
+    def mae(self) -> float:
+        """Mean absolute relative error across all rows."""
+        if not self.rows:
+            return 0.0
+        return sum(abs(r.rel_error) for r in self.rows) / len(self.rows)
+
+    @property
+    def max_abs_error(self) -> float:
+        """Worst-case absolute relative error."""
+        return max((abs(r.rel_error) for r in self.rows), default=0.0)
+
+    @property
+    def within_bound(self) -> bool:
+        """True when the aggregate MAE meets the acceptance bound."""
+        return self.mae <= self.bound
+
+    def by_group(self, key) -> dict[str, float]:
+        """MAE per group, ``key(row) -> group label`` (e.g. by kind)."""
+        groups: dict[str, list[float]] = {}
+        for row in self.rows:
+            groups.setdefault(key(row), []).append(abs(row.rel_error))
+        return {g: sum(v) / len(v) for g, v in sorted(groups.items())}
+
+
+def format_model_validation(report: ModelValidationReport) -> str:
+    """The model-vs-simulator error table (``repro validate --model``)."""
+    rows = [
+        [r.config_name, r.kind, r.regime, f"{r.l2_nominal_mb:g}",
+         r.predicted, r.measured, f"{r.rel_error:+.1%}"]
+        for r in sorted(report.rows,
+                        key=lambda r: (r.kind, r.camp, r.l2_nominal_mb))
+    ]
+    table = format_table(
+        ["config", "kind", "regime", "L2 MB", "model", "simulator", "error"],
+        rows,
+        title=f"analytical model vs. simulator — {report.metric} "
+              f"(held-out configs)",
+    )
+    by_kind = "  ".join(f"{k}={v:.1%}"
+                        for k, v in report.by_group(
+                            lambda r: r.kind).items())
+    verdict = "PASS" if report.within_bound else "FAIL"
+    return (f"{table}\n"
+            f"MAE {report.mae:.1%} (bound {report.bound:.0%}, "
+            f"max {report.max_abs_error:.1%}, per-kind: {by_kind}) "
+            f"-> {verdict}")
+
+
+def validate_model(exp: Experiment, model=None,
+                   jobs: int | None = None) -> ModelValidationReport:
+    """Fit (unless given) and cross-validate the analytical model on the
+    held-out golden-figure sizes — the ``repro validate --model`` driver.
+    """
+    # Imported lazily: repro.model depends on this module's report types.
+    from ..model import calibrate
+
+    if model is None:
+        model = calibrate.fit(exp, jobs=jobs)
+    return calibrate.cross_validate(exp, model, jobs=jobs)

@@ -1,0 +1,40 @@
+"""Design-space explorer: prune with the model, confirm with the simulator.
+
+The paper compares a handful of hand-picked configurations; this package
+walks the whole (camp, cores, L2 size, banks) space under an equal-area
+silicon budget (DESIGN.md §10.3):
+
+1. **Enumerate** every candidate whose :mod:`repro.simulator.area`
+   accounting fits the budget.
+2. **Screen** all of them with the calibrated :mod:`repro.model`
+   (microseconds per point) and keep the predicted Pareto frontier
+   (throughput vs. area) per workload kind.
+3. **Confirm** the frontier with real simulator runs through the
+   existing parallel/cache/telemetry machinery, report model-vs-
+   simulator screening error, and check the paper's qualitative claims
+   (lean camp wins saturated throughput at equal area; fat camp wins
+   unsaturated response time).
+"""
+
+from .explorer import ConfirmRow, ExploreReport, explore, format_explore
+from .space import (
+    DEFAULT_L2_BANKS,
+    DEFAULT_L2_SIZES_MB,
+    Candidate,
+    default_budget_mm2,
+    enumerate_candidates,
+    quick_budget_mm2,
+)
+
+__all__ = [
+    "Candidate",
+    "ConfirmRow",
+    "DEFAULT_L2_BANKS",
+    "DEFAULT_L2_SIZES_MB",
+    "ExploreReport",
+    "default_budget_mm2",
+    "enumerate_candidates",
+    "explore",
+    "format_explore",
+    "quick_budget_mm2",
+]

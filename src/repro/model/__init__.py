@@ -1,0 +1,58 @@
+"""First-order analytical performance model (DESIGN.md §10).
+
+The cycle-accurate simulator answers "what does *this* configuration do";
+this package answers "what does the *whole design space* look like" in
+microseconds per point.  It is a classic CPI-stack model:
+
+- per-component stall terms (L1I, L1D-to-L1, L2-hit, off-chip) fed by
+  *measured* miss ratios from pinned simulator runs,
+- an M/D/1-style queueing term for shared-L2 bank contention,
+- a fat-camp overlap factor (calibrated exposure per access) and a
+  lean-camp processor-sharing term (``min(k/(W+S), 1/W)``),
+
+calibrated per (workload kind, camp, regime) and cross-validated on
+held-out L2 sizes with a reported error bound.
+
+Public API:
+
+- :func:`repro.model.calibrate.fit` — calibrate against the pinned grid.
+- :class:`repro.model.calibrate.CalibratedModel` — ``predict`` / JSON io.
+- :func:`repro.model.calibrate.cross_validate` — held-out error table.
+- :mod:`repro.model.analytical` — the pure equations (unit-testable).
+"""
+
+from .analytical import (
+    RHO_CAP,
+    Prediction,
+    Signature,
+    StallPoint,
+    md1_wait,
+    predict,
+    processor_sharing_ipc,
+    thread_cpi,
+)
+from .calibrate import (
+    CAL_SIZES_MB,
+    ERROR_BOUND,
+    HOLDOUT_SIZES_MB,
+    CalibratedModel,
+    cross_validate,
+    fit,
+)
+
+__all__ = [
+    "CAL_SIZES_MB",
+    "ERROR_BOUND",
+    "HOLDOUT_SIZES_MB",
+    "RHO_CAP",
+    "CalibratedModel",
+    "Prediction",
+    "Signature",
+    "StallPoint",
+    "cross_validate",
+    "fit",
+    "md1_wait",
+    "predict",
+    "processor_sharing_ipc",
+    "thread_cpi",
+]

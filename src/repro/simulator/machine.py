@@ -17,14 +17,29 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from .breakdown import Breakdown
 from .coherence import PrivateL2Hierarchy
 from .cores import CoreParams, FatCore, LeanCore
-from .hierarchy import HierarchyParams, HierarchyStats, SharedL2Hierarchy
+from .hierarchy import (
+    COH,
+    L1,
+    L1X,
+    L2,
+    MEM,
+    HierarchyParams,
+    HierarchyStats,
+    SharedL2Hierarchy,
+)
 from .profiling import NULL_PROBE
 from .trace import Trace, Workload
+
+#: Schema tag stamped into every :meth:`MachineResult.to_dict` document.
+#: Bump when a field is added, removed, or changes meaning, so downstream
+#: consumers (the analytical model, exported JSON) fail loudly on a
+#: document written by a different layout instead of misreading it.
+RESULT_SCHEMA = "machine-result-v1"
 
 #: Default measurement window in cycles (the paper measures 50k-cycle
 #: samples; our coarser-grain traces need a longer window for the same
@@ -99,6 +114,119 @@ class MachineResult:
         if not self.retired:
             return math.inf
         return sum(b.busy for b in self.per_core) / self.retired
+
+    # ------------------------------------------------------------------ #
+    # Derived views (what the analytical model consumes)                  #
+    # ------------------------------------------------------------------ #
+
+    def stall_cpi(self) -> dict[str, float]:
+        """Per-component cycles per retired instruction (the CPI stack,
+        one entry per :class:`~repro.simulator.breakdown.Breakdown` field).
+        """
+        instr = max(1, self.retired)
+        return {k: v / instr for k, v in self.breakdown.as_dict().items()}
+
+    def miss_ratios(self) -> dict[str, float]:
+        """Per-reference service-level ratios and access rates.
+
+        These are the measured inputs of :mod:`repro.model`: where data
+        references were satisfied (as fractions of all references), how
+        many references and off-L1 instruction fetches each retired
+        instruction generates, and the mean L2 bank-queue wait per access
+        that reached an L2 port.
+        """
+        hs = self.hier_stats
+        refs = max(1, hs.data_accesses)
+        counts = hs.data_level_counts
+        instr = max(1, self.retired)
+        port_accesses = counts[L2] + counts[MEM]
+        return {
+            "l1d_miss": 1.0 - counts[L1] / refs,
+            "l1x_fraction": counts[L1X] / refs,
+            "l2_fraction": counts[L2] / refs,
+            "mem_fraction": counts[MEM] / refs,
+            "coh_fraction": counts[COH] / refs,
+            "l2_miss_rate": self.l2_miss_rate,
+            "accesses_per_instr": hs.data_accesses / instr,
+            "instr_port_per_instr": (hs.instr_level_counts[L2]
+                                     + hs.instr_level_counts[MEM]) / instr,
+            "l2_queue_wait": (hs.l2_queue_delay / port_accesses
+                              if port_accesses else 0.0),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Stable serialization                                                #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        """A stable, versioned, JSON-serializable document.
+
+        The document carries every raw field plus the derived
+        :meth:`stall_cpi` / :meth:`miss_ratios` blocks, so downstream
+        consumers read named fields instead of reaching into ad-hoc
+        attributes.  :meth:`from_dict` round-trips it exactly (derived
+        blocks are recomputed, not trusted).
+        """
+        return {
+            "schema": RESULT_SCHEMA,
+            "config_name": self.config_name,
+            "workload_name": self.workload_name,
+            "breakdown": self.breakdown.as_dict(),
+            "per_core": [b.as_dict() for b in self.per_core],
+            "retired": self.retired,
+            "elapsed": self.elapsed,
+            "ipc": self.ipc,
+            "response_cycles": self.response_cycles,
+            "hier_stats": {
+                f.name: (list(v) if isinstance(
+                    v := getattr(self.hier_stats, f.name), list) else v)
+                for f in fields(self.hier_stats)
+            },
+            "l2_miss_rate": self.l2_miss_rate,
+            "extras": dict(self.extras),
+            "stall_cpi": self.stall_cpi(),
+            "miss_ratios": self.miss_ratios(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MachineResult":
+        """Rebuild a result from a :meth:`to_dict` document.
+
+        Raises:
+            ValueError: on a missing/unknown schema tag or a document
+                missing a raw field (derived blocks are ignored).
+        """
+        if not isinstance(doc, dict):
+            raise ValueError("machine-result document must be an object")
+        schema = doc.get("schema")
+        if schema != RESULT_SCHEMA:
+            raise ValueError(
+                f"unsupported machine-result schema {schema!r} "
+                f"(expected {RESULT_SCHEMA!r})")
+        try:
+            hier_doc = doc["hier_stats"]
+            stats = HierarchyStats(**{
+                f.name: (list(hier_doc[f.name])
+                         if isinstance(hier_doc[f.name], list)
+                         else hier_doc[f.name])
+                for f in fields(HierarchyStats)
+            })
+            return cls(
+                config_name=doc["config_name"],
+                workload_name=doc["workload_name"],
+                breakdown=Breakdown(**doc["breakdown"]),
+                per_core=[Breakdown(**b) for b in doc["per_core"]],
+                retired=doc["retired"],
+                elapsed=doc["elapsed"],
+                ipc=doc["ipc"],
+                response_cycles=doc["response_cycles"],
+                hier_stats=stats,
+                l2_miss_rate=doc["l2_miss_rate"],
+                extras=dict(doc.get("extras", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed machine-result document: {exc}") from exc
 
 
 class Machine:

@@ -55,6 +55,12 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "staged / cohort" in out
 
+    def test_design_space_exploration(self, capsys):
+        run_example("design_space_exploration.py")
+        out = capsys.readouterr().out
+        assert "Equal-area verdict confirmed" in out
+        assert "simulator-confirmed frontier" in out
+
     def test_microbench_calibration(self, capsys):
         run_example("microbench_calibration.py")
         out = capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""Golden model/explorer acceptance: the ISSUE's quantitative bar,
+pinned at the golden scale.
+
+At GOLDEN_SCALE the fitted model must predict held-out golden-figure
+configurations within the 15% throughput-MAE bound, and a quick
+exploration must reproduce the paper's qualitative frontier: lean wins
+saturated throughput, fat wins unsaturated response — at equal area.
+The simulator is deterministic, so these are exact assertions.
+"""
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.explore.explorer import explore
+from repro.model.calibrate import ERROR_BOUND, cross_validate, fit
+
+GOLDEN_SCALE = 0.02
+GOLDEN_CYCLES = 40_000
+
+
+@pytest.fixture(scope="module")
+def exp():
+    return Experiment(scale=GOLDEN_SCALE, measure_cycles=GOLDEN_CYCLES,
+                      use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def model(exp):
+    return fit(exp)
+
+
+@pytest.mark.slow
+class TestModelAccuracy:
+    """DESIGN.md §10.2: held-out interpolation within the error bound."""
+
+    def test_holdout_mae_within_bound(self, exp, model):
+        report = cross_validate(exp, model)
+        # 2 kinds x 2 camps x 3 held-out sizes.
+        assert len(report.rows) == 12
+        assert report.within_bound, (
+            f"holdout MAE {report.mae:.1%} exceeds {ERROR_BOUND:.0%}")
+
+    def test_no_single_config_wildly_off(self, exp, model):
+        report = cross_validate(exp, model)
+        assert report.max_abs_error <= 2 * ERROR_BOUND, (
+            f"worst holdout error {report.max_abs_error:.1%}")
+
+
+@pytest.mark.slow
+class TestExploreGolden:
+    """The prune-then-confirm loop reproduces the paper's frontier."""
+
+    @pytest.fixture(scope="class")
+    def report(self, exp, model):
+        return explore(exp, quick=True, model=model, validate=False)
+
+    def test_paper_claims_confirmed_at_equal_area(self, report):
+        assert report.checks == {
+            "oltp: lean wins saturated throughput": True,
+            "oltp: fat wins unsaturated response": True,
+            "dss: lean wins saturated throughput": True,
+            "dss: fat wins unsaturated response": True,
+        }
+        assert report.all_checks_pass
+
+    def test_screening_error_on_confirmed_frontier(self, report):
+        assert report.confirmed
+        assert report.screening_mae <= ERROR_BOUND, (
+            f"screening MAE {report.screening_mae:.1%}")
+
+    def test_space_breadth_and_speed(self, report):
+        assert report.n_candidates >= 100
+        assert report.screen_seconds < 5.0

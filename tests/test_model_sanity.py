@@ -1,0 +1,215 @@
+"""Sanity properties of the analytical model (ISSUE 5 satellite).
+
+The pure-equation properties run on synthetic signatures (no
+simulation): predicted CPI is monotonically non-decreasing in L2 hit
+latency and in miss ratio, processor-sharing throughput never exceeds
+``threads x single-thread IPC``, and the M/D/1 term degrades gracefully
+as utilization approaches (and passes) 1.  A small simulator-backed
+section checks that calibration reproduces its own pinned runs and that
+a fitted model survives a JSON round trip bit-for-bit.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.model.analytical import (
+    RHO_CAP,
+    Signature,
+    StallPoint,
+    md1_wait,
+    predict,
+    processor_sharing_ipc,
+    thread_cpi,
+)
+from repro.model.calibrate import CalibratedModel, config_for, fit
+from repro.simulator.configs import fc_cmp, lc_cmp
+
+SCALE = 0.01
+CYCLES = 5_000
+
+
+def make_sig(**over) -> Signature:
+    """A plausible synthetic signature (fat OLTP-ish numbers)."""
+    points = over.pop("points", (
+        StallPoint(l2_nominal_mb=1.0, l2_fraction=0.05, mem_fraction=0.05,
+                   alpha_i=0.01, alpha_l2=0.6, alpha_mem=0.8,
+                   resid_cpi=0.05, queue_wait=0.1),
+        StallPoint(l2_nominal_mb=26.0, l2_fraction=0.09, mem_fraction=0.01,
+                   alpha_i=0.01, alpha_l2=0.6, alpha_mem=0.8,
+                   resid_cpi=0.05, queue_wait=0.1),
+    ))
+    base = dict(kind="oltp", camp="fc", regime="saturated", n_contexts=1,
+                comp_cpi=0.5, other_cpi=0.1, i_mem_cpi=0.02, apki=0.4,
+                ipki_port=0.01, instructions=0, n_clients=64, points=points)
+    base.update(over)
+    return Signature(**base)
+
+
+def lean_sig(**over) -> Signature:
+    over.setdefault("camp", "lc")
+    over.setdefault("n_contexts", 4)
+    over.setdefault("n_clients", 16)
+    return make_sig(**over)
+
+
+class TestQueueingTerm:
+    def test_idle_and_degenerate_inputs_cost_nothing(self):
+        assert md1_wait(0.0, 2.0) == 0.0
+        assert md1_wait(-1.0, 2.0) == 0.0
+        assert md1_wait(0.5, 0.0) == 0.0
+        assert md1_wait(0.5, -3.0) == 0.0
+
+    def test_monotone_and_graceful_toward_saturation(self):
+        """No division blow-up as rho -> 1: the wait saturates at the
+        RHO_CAP clamp instead of diverging."""
+        rhos = [0.1, 0.5, 0.9, 0.97, 0.999, 1.0, 1.5, 10.0]
+        waits = [md1_wait(r, 2.0) for r in rhos]
+        assert all(math.isfinite(w) and w >= 0.0 for w in waits)
+        assert waits == sorted(waits)
+        # Past the clamp every utilization costs the same finite wait.
+        assert md1_wait(1.0, 2.0) == md1_wait(100.0, 2.0)
+        assert md1_wait(1.0, 2.0) == md1_wait(RHO_CAP, 2.0)
+
+    def test_saturated_fixed_point_self_throttles(self):
+        """Elastic load (stalls fully exposed): the queue wait slows the
+        cores, which drains the queue — the fixed point converges with
+        utilization strictly below 1, never dividing by zero."""
+        sig = make_sig(apki=10.0, points=(
+            StallPoint(l2_nominal_mb=1.0, l2_fraction=0.9, mem_fraction=0.1,
+                       alpha_i=0.05, alpha_l2=1.0, alpha_mem=1.0,
+                       resid_cpi=0.0, queue_wait=0.0),
+        ))
+        config = fc_cmp(n_cores=8, l2_nominal_mb=1.0, scale=SCALE,
+                        l2_banks=1)
+        pred = predict(sig, config)
+        assert math.isfinite(pred.ipc) and pred.ipc > 0.0
+        assert math.isfinite(pred.queue_wait) and pred.queue_wait > 0.0
+        assert 0.0 < pred.utilization < 1.0
+
+    def test_inelastic_overload_hits_the_clamp_not_infinity(self):
+        """Inelastic load (stalls fully hidden, so the wait cannot slow
+        the cores): offered utilization exceeds 1 and the clamp — not a
+        division blow-up — bounds the wait."""
+        sig = make_sig(apki=10.0, points=(
+            StallPoint(l2_nominal_mb=1.0, l2_fraction=0.9, mem_fraction=0.0,
+                       alpha_i=0.0, alpha_l2=0.0, alpha_mem=0.0,
+                       resid_cpi=0.0, queue_wait=0.0),
+        ))
+        config = fc_cmp(n_cores=8, l2_nominal_mb=1.0, scale=SCALE,
+                        l2_banks=1)
+        pred = predict(sig, config)
+        service = float(config.hierarchy.l2_occupancy)
+        assert pred.utilization > 1.0  # reported pre-clamp
+        assert math.isfinite(pred.queue_wait)
+        assert pred.queue_wait == pytest.approx(md1_wait(10.0, service))
+
+
+class TestProcessorSharingBound:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16])
+    @pytest.mark.parametrize("work", [0.3, 0.5, 1.0])
+    @pytest.mark.parametrize("stall", [0.0, 0.5, 2.0, 10.0])
+    def test_never_exceeds_threads_times_single_thread_ipc(
+            self, k, work, stall):
+        ipc = processor_sharing_ipc(k, work, stall)
+        single = 1.0 / (work + stall)
+        assert ipc <= k * single + 1e-12
+        assert ipc <= 1.0 / work + 1e-12  # the issue-rate cap
+        assert ipc >= single - 1e-12      # threads never hurt
+
+    def test_requires_positive_work(self):
+        with pytest.raises(ValueError):
+            processor_sharing_ipc(4, 0.0, 1.0)
+
+
+class TestMonotonicity:
+    def test_thread_cpi_non_decreasing_in_l2_latency(self):
+        sig = make_sig()
+        point = sig.at(4.0)
+        cpis = [thread_cpi(sig, point, lat, 0.5, 300.0)
+                for lat in (2, 4, 8, 14, 22, 40, 60)]
+        assert cpis == sorted(cpis)
+        assert cpis[-1] > cpis[0]  # strictly, when exposure is nonzero
+
+    def test_thread_cpi_non_decreasing_in_miss_ratio(self):
+        sig = make_sig()
+        base = sig.at(4.0)
+        cpis = []
+        for mult in (0.0, 0.5, 1.0, 2.0, 4.0):
+            point = StallPoint(
+                l2_nominal_mb=base.l2_nominal_mb,
+                l2_fraction=base.l2_fraction * mult,
+                mem_fraction=base.mem_fraction * mult,
+                alpha_i=base.alpha_i, alpha_l2=base.alpha_l2,
+                alpha_mem=base.alpha_mem, resid_cpi=base.resid_cpi,
+                queue_wait=base.queue_wait)
+            cpis.append(thread_cpi(sig, point, 14.0, 0.5, 300.0))
+        assert cpis == sorted(cpis)
+        assert cpis[-1] > cpis[0]
+
+    @pytest.mark.parametrize("builder,sig", [
+        (fc_cmp, make_sig()),
+        (lc_cmp, lean_sig()),
+    ])
+    def test_end_to_end_prediction_monotone_in_latency(self, builder, sig):
+        """Through the queueing fixed point too: raising the (const) L2
+        hit latency never lowers predicted CPI or raises throughput."""
+        preds = [predict(sig, builder(n_cores=4, l2_nominal_mb=4.0,
+                                      scale=SCALE, const_latency=lat))
+                 for lat in (2, 4, 8, 16, 32)]
+        cpis = [p.thread_cpi for p in preds]
+        ipcs = [p.ipc for p in preds]
+        assert cpis == sorted(cpis)
+        assert ipcs == sorted(ipcs, reverse=True)
+
+    def test_more_clients_never_lower_throughput(self):
+        """Context placement: a half-empty lean chip cannot out-throughput
+        the same chip with every context occupied."""
+        config = lc_cmp(n_cores=8, l2_nominal_mb=4.0, scale=SCALE)
+        ipcs = [predict(lean_sig(n_clients=c), config).ipc
+                for c in (1, 4, 8, 16, 32, 64)]
+        assert ipcs == sorted(ipcs)
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    exp = Experiment(scale=SCALE, measure_cycles=CYCLES, use_cache=False)
+    return exp, fit(exp, kinds=("dss",))
+
+
+@pytest.mark.slow
+class TestCalibration:
+    def test_reproduces_calibration_points(self, fitted):
+        """The correction pins the model to its own calibration runs
+        (small residue allowed: the queueing fixed point re-converges)."""
+        exp, model = fitted
+        for camp in ("fc", "lc"):
+            for size in (1.0, 4.0, 26.0):
+                config = config_for(camp, size, exp.scale)
+                sim = exp.run(config, "dss", "saturated")
+                pred = model.predict(config, "dss", "saturated")
+                assert pred.ipc == pytest.approx(sim.ipc, rel=0.02)
+
+    def test_json_round_trip_preserves_predictions(self, fitted):
+        exp, model = fitted
+        doc = json.loads(json.dumps(model.to_json_dict()))
+        back = CalibratedModel.from_json_dict(doc)
+        for camp in ("fc", "lc"):
+            config = config_for(camp, 8.0, exp.scale)
+            a = model.predict(config, "dss", "saturated")
+            b = back.predict(config, "dss", "saturated")
+            assert a == b
+
+    def test_unknown_cell_fails_loudly(self, fitted):
+        _, model = fitted
+        with pytest.raises(ValueError, match="signature"):
+            model.signature("oltp", "fc")  # only dss was fitted
+
+    def test_bad_schema_rejected(self, fitted):
+        _, model = fitted
+        doc = model.to_json_dict()
+        doc["schema"] = "repro-model-v999"
+        with pytest.raises(ValueError, match="schema"):
+            CalibratedModel.from_json_dict(doc)

@@ -1,0 +1,67 @@
+"""The model and explorer are read-only consumers of the simulator
+(ISSUE 6 satellite).
+
+Both layers are pure functions of :class:`MachineResult` documents, so
+adding them must not change what the simulator produces: the cache salt
+``CODE_VERSION`` stays at ``repro-sim-v1`` (no invalidation of existing
+result caches), and a run that flows through model fitting is
+bit-identical to the same run performed directly.
+"""
+
+import json
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.core.parallel import CODE_VERSION
+from repro.model.calibrate import config_for, fit
+
+SCALE = 0.01
+CYCLES = 5_000
+SIZES = (1.0, 4.0)
+UNSAT = (4.0,)
+
+
+def _exp():
+    return Experiment(scale=SCALE, measure_cycles=CYCLES, use_cache=False)
+
+
+def test_cache_salt_unchanged():
+    """The model/explorer PR adds only result consumers; existing
+    simulator caches must stay valid."""
+    assert CODE_VERSION == "repro-sim-v1"
+
+
+@pytest.mark.slow
+class TestReadOnly:
+    def test_fit_leaves_results_bit_identical(self):
+        """The same (config, kind, regime) run yields an identical
+        serialized result whether or not model fitting consumed it."""
+        config = config_for("fc", SIZES[0], SCALE)
+        baseline = _exp().run(config, "dss", "saturated").to_dict()
+
+        exp = _exp()
+        model = fit(exp, kinds=("dss",), sizes=SIZES, unsat_sizes=UNSAT)
+        through_fit = exp.run(config, "dss", "saturated").to_dict()
+        assert json.dumps(through_fit, sort_keys=True) == \
+            json.dumps(baseline, sort_keys=True)
+        assert model.signatures  # the fit really happened
+
+    def test_fit_does_not_corrupt_shared_state(self):
+        """Fitting (closed-form inversion + predictions) must not mutate
+        workload traces or config state a later fresh run depends on."""
+        config = config_for("lc", SIZES[0], SCALE)
+        before = _exp().run(config, "dss", "saturated").to_dict()
+        fit(_exp(), kinds=("dss",), sizes=SIZES, unsat_sizes=UNSAT)
+        after = _exp().run(config, "dss", "saturated").to_dict()
+        assert after == before
+
+    def test_fit_is_deterministic(self):
+        """Two independent fits on fresh experiments serialize to the
+        same JSON document."""
+        doc_a = fit(_exp(), kinds=("dss",), sizes=SIZES,
+                    unsat_sizes=UNSAT).to_json_dict()
+        doc_b = fit(_exp(), kinds=("dss",), sizes=SIZES,
+                    unsat_sizes=UNSAT).to_json_dict()
+        assert json.dumps(doc_a, sort_keys=True) == \
+            json.dumps(doc_b, sort_keys=True)

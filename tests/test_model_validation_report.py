@@ -1,0 +1,82 @@
+"""Unit tests for the model-vs-simulator error report (pure, no sim)."""
+
+import math
+
+import pytest
+
+from repro.core.validation import (
+    ModelErrorRow,
+    ModelValidationReport,
+    format_model_validation,
+)
+
+
+def row(kind="oltp", camp="fc", size=2.0, predicted=1.0, measured=1.0):
+    return ModelErrorRow(
+        config_name=f"{camp}_cmp_{size:g}mb", kind=kind, camp=camp,
+        regime="saturated", l2_nominal_mb=size,
+        predicted=predicted, measured=measured)
+
+
+class TestErrorRow:
+    def test_signed_relative_error(self):
+        assert row(predicted=1.1, measured=1.0).rel_error == \
+            pytest.approx(0.1)
+        assert row(predicted=0.8, measured=1.0).rel_error == \
+            pytest.approx(-0.2)
+
+    def test_zero_measured_guards(self):
+        assert row(predicted=0.0, measured=0.0).rel_error == 0.0
+        assert math.isinf(row(predicted=1.0, measured=0.0).rel_error)
+
+
+class TestAggregates:
+    def test_mae_and_max(self):
+        report = ModelValidationReport(metric="throughput (IPC)", rows=[
+            row(predicted=1.1, measured=1.0),   # +10%
+            row(predicted=0.95, measured=1.0),  # -5%
+            row(predicted=1.0, measured=1.0),   # 0%
+        ])
+        assert report.mae == pytest.approx(0.05)
+        assert report.max_abs_error == pytest.approx(0.10)
+
+    def test_bound_verdict(self):
+        good = ModelValidationReport(metric="m", bound=0.15,
+                                     rows=[row(predicted=1.1, measured=1.0)])
+        bad = ModelValidationReport(metric="m", bound=0.05,
+                                    rows=[row(predicted=1.1, measured=1.0)])
+        assert good.within_bound and not bad.within_bound
+
+    def test_empty_report_is_trivially_clean(self):
+        report = ModelValidationReport(metric="m")
+        assert report.mae == 0.0
+        assert report.max_abs_error == 0.0
+        assert report.within_bound
+
+    def test_grouped_mae(self):
+        report = ModelValidationReport(metric="m", rows=[
+            row(kind="oltp", predicted=1.1, measured=1.0),
+            row(kind="oltp", predicted=0.9, measured=1.0),
+            row(kind="dss", predicted=1.0, measured=1.0),
+        ])
+        by_kind = report.by_group(lambda r: r.kind)
+        assert by_kind["oltp"] == pytest.approx(0.1)
+        assert by_kind["dss"] == 0.0
+
+
+class TestFormatting:
+    def test_table_carries_rows_and_verdict(self):
+        report = ModelValidationReport(metric="throughput (IPC)", rows=[
+            row(kind="dss", camp="lc", size=8.0,
+                predicted=2.2, measured=2.0),
+        ])
+        text = format_model_validation(report)
+        assert "lc_cmp_8mb" in text
+        assert "+10.0%" in text
+        assert "PASS" in text
+
+    def test_fail_verdict_when_over_bound(self):
+        report = ModelValidationReport(metric="m", bound=0.05, rows=[
+            row(predicted=1.5, measured=1.0),
+        ])
+        assert "FAIL" in format_model_validation(report)

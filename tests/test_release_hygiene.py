@@ -19,6 +19,8 @@ PACKAGES = [
     "repro.workloads",
     "repro.core",
     "repro.staged",
+    "repro.model",
+    "repro.explore",
 ]
 
 

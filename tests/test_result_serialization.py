@@ -1,0 +1,103 @@
+"""Round-trip tests for the versioned MachineResult serialization.
+
+The analytical model (:mod:`repro.model`) reads simulator measurements
+exclusively through ``MachineResult.to_dict()``; these tests pin the
+schema contract: every raw field survives a dict -> JSON -> dict ->
+``from_dict`` round trip exactly, the derived stall/miss blocks are
+present and recomputable, and foreign documents fail loudly.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.simulator.configs import fc_cmp, lc_cmp
+from repro.simulator.machine import RESULT_SCHEMA, MachineResult
+
+SCALE = 0.01
+CYCLES = 5_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    exp = Experiment(scale=SCALE, measure_cycles=CYCLES, use_cache=False)
+    return exp.run(fc_cmp(n_cores=2, l2_nominal_mb=2.0, scale=SCALE), "dss")
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_field_identical(self, result):
+        doc = json.loads(json.dumps(result.to_dict()))
+        back = MachineResult.from_dict(doc)
+        assert back.config_name == result.config_name
+        assert back.workload_name == result.workload_name
+        assert back.breakdown.as_dict() == result.breakdown.as_dict()
+        assert len(back.per_core) == len(result.per_core)
+        for a, b in zip(back.per_core, result.per_core):
+            assert a.as_dict() == b.as_dict()
+        assert back.retired == result.retired
+        assert back.elapsed == result.elapsed
+        assert back.ipc == result.ipc
+        assert back.response_cycles == result.response_cycles
+        assert back.hier_stats == result.hier_stats
+        assert back.l2_miss_rate == result.l2_miss_rate
+        assert back.extras == result.extras
+
+    def test_derived_blocks_recompute_identically(self, result):
+        doc = result.to_dict()
+        back = MachineResult.from_dict(json.loads(json.dumps(doc)))
+        assert back.stall_cpi() == doc["stall_cpi"]
+        assert back.miss_ratios() == doc["miss_ratios"]
+        assert back.cpi == pytest.approx(result.cpi)
+
+    def test_response_mode_round_trip(self):
+        exp = Experiment(scale=SCALE, measure_cycles=CYCLES, use_cache=False)
+        res = exp.run(lc_cmp(n_cores=2, l2_nominal_mb=2.0, scale=SCALE),
+                      "dss", "unsaturated")
+        back = MachineResult.from_dict(res.to_dict())
+        assert back.response_cycles == res.response_cycles
+        assert back.response_cycles is not None
+
+
+class TestSchemaContract:
+    def test_schema_tag_present(self, result):
+        assert result.to_dict()["schema"] == RESULT_SCHEMA
+
+    def test_unknown_schema_rejected(self, result):
+        doc = result.to_dict()
+        doc["schema"] = "machine-result-v999"
+        with pytest.raises(ValueError, match="schema"):
+            MachineResult.from_dict(doc)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            MachineResult.from_dict([1, 2, 3])
+
+    def test_missing_raw_field_rejected(self, result):
+        doc = result.to_dict()
+        del doc["breakdown"]
+        with pytest.raises(ValueError, match="malformed"):
+            MachineResult.from_dict(doc)
+
+    def test_stall_and_miss_fields_named(self, result):
+        """The model-facing field names are part of the contract."""
+        doc = result.to_dict()
+        for key in ("computation", "i_l2", "i_mem", "d_l1x", "d_l2",
+                    "d_mem", "d_coh", "other", "idle"):
+            assert key in doc["stall_cpi"]
+        for key in ("l1d_miss", "l1x_fraction", "l2_fraction",
+                    "mem_fraction", "coh_fraction", "l2_miss_rate",
+                    "accesses_per_instr", "instr_port_per_instr",
+                    "l2_queue_wait"):
+            assert key in doc["miss_ratios"]
+
+    def test_miss_ratio_invariants(self, result):
+        mr = result.miss_ratios()
+        served = (mr["l1x_fraction"] + mr["l2_fraction"]
+                  + mr["mem_fraction"] + mr["coh_fraction"])
+        assert mr["l1d_miss"] == pytest.approx(served)
+        assert 0.0 <= mr["l1d_miss"] <= 1.0
+        assert mr["accesses_per_instr"] > 0
+        assert mr["l2_queue_wait"] >= 0.0
+        assert not math.isnan(mr["l2_queue_wait"])
