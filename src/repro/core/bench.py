@@ -23,7 +23,7 @@ regression) to the right layer.
 
 All durations are monotonic (``time.perf_counter`` deltas only — recorded
 durations never touch the wall clock, which ``tests/test_bench_harness.py``
-locks down).  The result is written as ``BENCH_PR5.json`` at the repo
+locks down).  The result is written as ``BENCH_PR6.json`` at the repo
 root: one schema-versioned snapshot per PR, so future PRs can diff the
 trajectory and catch harness regressions without re-deriving a baseline.
 
@@ -64,7 +64,7 @@ __all__ = [
 BENCH_SCHEMA = "repro-bench-v2"
 
 #: Default output filename (repo root).
-DEFAULT_OUT = "BENCH_PR5.json"
+DEFAULT_OUT = "BENCH_PR6.json"
 
 #: The three timed execution paths, in run order (warm must follow cold).
 BENCH_MODES = ("serial", "parallel-cold", "parallel-warm")
@@ -87,15 +87,10 @@ FULL_CONFIG = {
     "jobs": 2,
 }
 
-#: The in-process workload memoizers, cleared at the start of each bench
-#: run so the serial mode measures a genuinely cold trace build.
-_WORKLOAD_CACHES = (
-    driver.oltp_workload,
-    driver.oltp_unsaturated,
-    driver.dss_workload,
-    driver.dss_unsaturated,
-    driver.dss_parallel_query,
-)
+# The in-process workload caches (lru memoizers + the coordinate
+# registry) are cleared at the start of each bench run, via
+# ``driver.clear_workload_caches``, so the serial mode measures a
+# genuinely cold trace build.
 
 
 def _git_commit() -> str | None:
@@ -179,8 +174,7 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
     if jobs is not None:
         config["jobs"] = max(1, int(jobs))
     specs = _specs(config)
-    for memo in _WORKLOAD_CACHES:
-        memo.cache_clear()
+    driver.clear_workload_caches()
     runs = []
     saved_trace_dir = os.environ.get(ENV_TRACE_DIR)
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
@@ -253,11 +247,14 @@ def load_baseline(path: str) -> dict | None:
 
 def compare_bench(record: dict, baseline: dict,
                   baseline_path: str | None = None) -> dict:
-    """Per-mode and total speedups of ``record`` over ``baseline``.
+    """Per-mode, per-phase, and total speedups of ``record`` over
+    ``baseline``.
 
     Modes are matched by name; a baseline missing a mode (or its wall
-    time) simply contributes nothing.  Speedup > 1 means this record is
-    faster.
+    time) simply contributes nothing.  The ``phases`` entry attributes
+    the total to the trace-build vs simulate split (summed over matched
+    modes) when both snapshots carry it — v1 baselines without the split
+    just omit it.  Speedup > 1 means this record is faster.
     """
     base_by_mode = {}
     for run in baseline.get("runs", []):
@@ -266,6 +263,9 @@ def compare_bench(record: dict, baseline: dict,
     modes = {}
     total_new = 0.0
     total_base = 0.0
+    phase_new = {"trace_build_seconds": 0.0, "simulate_seconds": 0.0}
+    phase_base = {"trace_build_seconds": 0.0, "simulate_seconds": 0.0}
+    phases_usable = True
     for run in record["runs"]:
         base = base_by_mode.get(run["mode"])
         if base is None:
@@ -281,7 +281,17 @@ def compare_bench(record: dict, baseline: dict,
             "wall_seconds": round(wall, 6),
             "speedup": round(base_wall / wall, 3) if wall > 0 else None,
         }
-    return {
+        for field in phase_new:
+            new_phase = run.get(field)
+            base_phase = base.get(field)
+            if (isinstance(new_phase, (int, float)) and new_phase >= 0
+                    and isinstance(base_phase, (int, float))
+                    and base_phase >= 0):
+                phase_new[field] += new_phase
+                phase_base[field] += base_phase
+            else:
+                phases_usable = False
+    out = {
         "baseline_path": baseline_path,
         "baseline_schema": baseline.get("schema"),
         "baseline_commit": baseline.get("commit"),
@@ -291,6 +301,17 @@ def compare_bench(record: dict, baseline: dict,
         "total_speedup": (round(total_base / total_new, 3)
                           if total_new > 0 else None),
     }
+    if modes and phases_usable:
+        out["phases"] = {
+            phase: {
+                "baseline_seconds": round(phase_base[phase], 6),
+                "wall_seconds": round(phase_new[phase], 6),
+                "speedup": (round(phase_base[phase] / phase_new[phase], 3)
+                            if phase_new[phase] > 0 else None),
+            }
+            for phase in ("trace_build_seconds", "simulate_seconds")
+        }
+    return out
 
 
 def validate_bench(record: dict) -> None:
@@ -374,4 +395,13 @@ def format_bench(record: dict) -> str:
                 f"  vs {compare.get('baseline_commit') or 'baseline'}"
                 f"[{compare.get('baseline_schema')}]: "
                 + ", ".join(parts) + f"; total {total_txt}")
+            phases = compare.get("phases")
+            if phases:
+                phase_parts = [
+                    f"{name.removesuffix('_seconds')} "
+                    + (f"{info['speedup']}x" if info["speedup"] is not None
+                       else "n/a")
+                    for name, info in phases.items()
+                ]
+                lines.append("  phases: " + ", ".join(phase_parts))
     return "\n".join(lines)

@@ -44,6 +44,9 @@ class HeapFile:
         layout: PageLayout = PageLayout.NSM,
         n_virtual_rows: int = 0,
         row_source: Callable[[int], tuple] | None = None,
+        row_cache: dict[int, tuple] | None = None,
+        row_block_source: Callable[[int, int], list] | None = None,
+        block_cache: dict[int, list] | None = None,
     ):
         if n_virtual_rows > 0 and row_source is None:
             raise ValueError("virtual heap files need a row_source")
@@ -59,8 +62,28 @@ class HeapFile:
         # Generated virtual rows are deterministic, so memoize them: the
         # DSS clients re-scan shared chunks many times, and regenerating a
         # row costs far more than a dict hit.  Bounded by the table size
-        # (the same rows a materialized heap would hold outright).
-        self._row_cache: dict[int, tuple] = {}
+        # (the same rows a materialized heap would hold outright).  A
+        # caller may inject a shared cache so several database instances
+        # built from the same deterministic source (same scale and seed)
+        # reuse each other's rows; the rows are immutable tuples and
+        # per-instance writes land in the overlay, never the cache.
+        self._row_cache: dict[int, tuple] = \
+            row_cache if row_cache is not None else {}
+        # Materialized row blocks for the fused scan drains: one list per
+        # page, dropped wholesale when any mutation bumps the epoch.  The
+        # DSS windows are quantized, so the same few blocks are re-scanned
+        # many times.  An optional ``row_block_source(start, stop)``
+        # generates a whole page of virtual rows in one call (amortizing
+        # the per-row generator overhead), and an injected shared
+        # ``block_cache`` lets database instances built from the same
+        # deterministic source reuse each other's pages.
+        self._row_block_source = row_block_source
+        self._block_cache_shared = block_cache is not None
+        self._block_cache: dict[int, list[tuple]] = \
+            block_cache if block_cache is not None else {}
+        self._addr_cache: dict[int, list[int]] = {}
+        self._mut_epoch = 0
+        self._block_epoch = 0
         if n_virtual_rows:
             self._reserve_pages(self.n_pages)
 
@@ -143,6 +166,7 @@ class HeapFile:
             )
         rid = len(self._rows)
         self._rows.append(tuple(row))
+        self._mut_epoch += 1
         self._reserve_pages(self.n_pages)
         return rid
 
@@ -174,7 +198,85 @@ class HeapFile:
             self._overlay[rid] = new
         else:
             self._rows[rid] = new
+        self._mut_epoch += 1
         return new
+
+    def page_rows(self, page_no: int) -> list[tuple]:
+        """All rows of one page as a (cached) list.
+
+        The rows are value-equal to what :meth:`get` yields (and the very
+        same tuple objects unless a ``row_block_source`` regenerates the
+        page wholesale).  Any mutation (:meth:`append`, :meth:`set_field`)
+        invalidates all cached pages.  Callers must not mutate the list.
+        """
+        if self._block_cache_shared and self._overlay:
+            # Overlay writes are private: once this instance diverges from
+            # the shared deterministic source it must neither serve nor
+            # populate the shared page cache (other instances may have
+            # refilled it with pre-overlay rows).
+            get = self.get
+            start = page_no * self.format.capacity
+            stop = min(start + self.format.capacity, self.n_rows)
+            return [get(rid) for rid in range(start, stop)]
+        if self._block_epoch != self._mut_epoch:
+            self._block_cache.clear()
+            self._addr_cache.clear()
+            self._block_epoch = self._mut_epoch
+        block = self._block_cache.get(page_no)
+        if block is None:
+            start = page_no * self.format.capacity
+            stop = min(start + self.format.capacity, self.n_rows)
+            if self._virtual_rows and not self._overlay:
+                src = self._row_block_source
+                if src is not None:
+                    block = src(start, stop)
+                else:
+                    # No per-rid bounds checks or overlay lookups.
+                    cache = self._row_cache
+                    cget = cache.get
+                    gen = self._row_source
+                    block = []
+                    app = block.append
+                    for rid in range(start, stop):
+                        row = cget(rid)
+                        if row is None:
+                            row = cache[rid] = gen(rid)
+                        app(row)
+            else:
+                get = self.get
+                block = [get(rid) for rid in range(start, stop)]
+            self._block_cache[page_no] = block
+        return block
+
+    def scan_addr_block(self, page_no: int) -> list[int]:
+        """The NSM scan reference addresses of one page, in row order.
+
+        One record address per row — plus the second-line address for a
+        record spanning two cache lines — exactly the per-row reference
+        sequence ``SeqScan`` emits.  Cached per page; fused scan loops
+        extend the trace's address column with the block wholesale.
+        """
+        if self._block_epoch != self._mut_epoch:
+            self._block_cache.clear()
+            self._addr_cache.clear()
+            self._block_epoch = self._mut_epoch
+        block = self._addr_cache.get(page_no)
+        if block is None:
+            fmt = self.format
+            start = page_no * fmt.capacity
+            n = min(fmt.capacity, self.n_rows - start)
+            addr = fmt.record_addr(self.page_base(page_no), 0)
+            width = self.schema.row_width
+            if width > 64:
+                block = []
+                ext = block.extend
+                for _ in range(max(0, n)):
+                    ext((addr, addr + 64))
+                    addr += width
+            else:
+                block = list(range(addr, addr + max(0, n) * width, width))
+            self._addr_cache[page_no] = block
+        return block
 
     def scan(self, start: int = 0, stop: int | None = None) -> Iterator[tuple[int, tuple]]:
         """Yield (rid, row) for rids in [start, stop)."""

@@ -7,6 +7,15 @@ Every storage and execution component calls into the active tracer:
 - :meth:`MemoryTracer.compute` to charge instructions of computation;
 - :meth:`MemoryTracer.data` when a modeled memory address is touched.
 
+Events are emitted straight into the columnar trace representation: one
+packed 64-bit meta word (``icount << 24 | region << 8 | flags``) plus one
+address per reference (DESIGN.md §11).  The fused builder loops in
+:mod:`repro.db.exec.fused` bypass the per-call interface entirely — they
+obtain the raw column appenders via :meth:`MemoryTracer.emitters` and the
+packed region bits via :meth:`MemoryTracer.region_bits`, emit precomputed
+meta words, and hand the carried state back through
+:meth:`MemoryTracer.sync`.
+
 A :class:`NullTracer` with the same interface lets the engine run untraced
 (result-correctness tests, staged-executor comparisons) at full speed.
 """
@@ -19,6 +28,7 @@ from ..simulator.trace import (
     FLAG_KERNEL,
     FLAG_STREAM,
     FLAG_WRITE,
+    MAX_EVENT_ICOUNT,
     Trace,
     TraceBuilder,
 )
@@ -67,7 +77,7 @@ class NullTracer:
 
 
 class MemoryTracer(NullTracer):
-    """Records one client's execution as a simulator trace.
+    """Records one client's execution as a columnar simulator trace.
 
     Usage::
 
@@ -90,20 +100,30 @@ class MemoryTracer(NullTracer):
         self._registry = registry
         self._builder = TraceBuilder(name, ilp=ilp, branch_mpki=branch_mpki,
                                      ilp_inorder=ilp_inorder)
-        self._appends = self._builder._appends
+        self._meta_append = self._builder.meta_column.append
+        self._addr_append = self._builder.addr_column.append
         self._pending = 0
-        self._region_ids: dict[str, int] = {}
-        self._current_region = self._region_id("rt.kernel")
+        #: code name -> packed ``region_id << 8`` bits, ready to OR into
+        #: a meta word (the enter() fast path is one dict lookup).
+        self._region_bits: dict[str, int] = {}
+        self._current_bits = self.region_bits("rt.kernel")
         self._finished = False
 
-    def _region_id(self, code_name: str) -> int:
-        rid = self._region_ids.get(code_name)
-        if rid is None:
+    def region_bits(self, code_name: str) -> int:
+        """Packed ``region_id << 8`` bits for ``code_name`` (registering
+        the footprint on first use)."""
+        bits = self._region_bits.get(code_name)
+        if bits is None:
             region = self._registry.region(code_name)
             rid = self._builder.register_code(code_name, region.base,
                                               region.lines)
-            self._region_ids[code_name] = rid
-        return rid
+            bits = self._region_bits[code_name] = rid << 8
+        return bits
+
+    @property
+    def _current_region(self) -> int:
+        """The current code-region id (introspection/debugging)."""
+        return self._current_bits >> 8
 
     # ------------------------------------------------------------------ #
     # Recording interface                                                 #
@@ -111,9 +131,9 @@ class MemoryTracer(NullTracer):
 
     def enter(self, code_name: str) -> None:
         """Move control into code module ``code_name``."""
-        rid = self._region_ids.get(code_name)
-        self._current_region = rid if rid is not None \
-            else self._region_id(code_name)
+        bits = self._region_bits.get(code_name)
+        self._current_bits = bits if bits is not None \
+            else self.region_bits(code_name)
 
     def compute(self, n_instr: int) -> None:
         """Charge ``n_instr`` instructions before the next data reference."""
@@ -126,7 +146,7 @@ class MemoryTracer(NullTracer):
         """Record a data reference at ``addr``, flushing pending compute."""
         flags = 0
         if write:
-            flags |= FLAG_WRITE
+            flags = FLAG_WRITE
         if dependent:
             flags |= FLAG_DEPENDENT
         if kernel:
@@ -134,16 +154,48 @@ class MemoryTracer(NullTracer):
         if stream:
             flags |= FLAG_STREAM
         # Charge a minimal instruction for the access itself so no event
-        # carries zero work.  The builder's event() is inlined here (same
-        # clamp and mask) — this method is called once per recorded
-        # reference, the single hottest call of a trace build.
+        # carries zero work.  The meta word is packed inline (same clamp
+        # as pack_meta) — this method is called once per recorded
+        # reference, the single hottest call of an unfused trace build.
         icount = self._pending + 1
         self._pending = 0
-        add_icount, add_addr, add_flags, add_region = self._appends
-        add_icount(icount if icount <= 0xFFFF_FFFF else 0xFFFF_FFFF)
-        add_addr(addr)
-        add_flags(flags & 0xFF)
-        add_region(self._current_region)
+        self._meta_append(
+            (icount if icount <= MAX_EVENT_ICOUNT else MAX_EVENT_ICOUNT)
+            << 24 | self._current_bits | flags)
+        self._addr_append(addr)
+
+    # ------------------------------------------------------------------ #
+    # Fused-loop interface                                                #
+    # ------------------------------------------------------------------ #
+
+    def emitters(self):
+        """The raw ``(meta_append, addr_append)`` column appenders.
+
+        A fused builder loop emits packed meta words directly through
+        these, then must call :meth:`sync` before control returns to the
+        per-call interface.
+        """
+        return self._meta_append, self._addr_append
+
+    def columns(self):
+        """The raw ``(meta, addr)`` column lists, for bulk extends.
+
+        Fused loops whose per-page address sequence is deterministic
+        (a pure NSM scan) extend the address column with one precomputed
+        block per page instead of appending row by row.
+        """
+        return self._builder.meta_column, self._builder.addr_column
+
+    def sync(self, pending: int, region_bits: int) -> None:
+        """Restore carried tracer state after a fused loop.
+
+        Args:
+            pending: Computation charged but not yet flushed by an event.
+            region_bits: Packed ``region_id << 8`` of the module the fused
+                loop logically left control in.
+        """
+        self._pending = pending
+        self._current_bits = region_bits
 
     # ------------------------------------------------------------------ #
     # Lifecycle                                                           #

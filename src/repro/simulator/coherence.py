@@ -218,16 +218,18 @@ class PrivateL2Hierarchy:
         self.data_access(core, addr, write, 0.0)
 
     def warm_block(
-        self, core: int, addrs, flags, lo: int, hi: int
+        self, core: int, addrs, meta, lo: int, hi: int
     ) -> None:
-        """Batched :meth:`warm_data` over ``addrs[lo:hi]``.
+        """Batched :meth:`warm_data` over a trace's packed columns.
 
-        MESI transitions are too entangled to inline profitably, so this
-        only hoists the method/flag lookups; state changes are identical.
+        ``FLAG_WRITE`` is bit 0 of a packed meta word, so the write test
+        needs no decode.  MESI transitions are too entangled to inline
+        profitably, so this only hoists the method lookups; state changes
+        are identical.
         """
         access = self.data_access
         for i in range(lo, hi):
-            access(core, addrs[i], flags[i] & 0x1, 0.0)
+            access(core, addrs[i], meta[i] & 0x1, 0.0)
 
     # ------------------------------------------------------------------ #
     # Instruction path (node-local; code is read-shared, no coherence)    #

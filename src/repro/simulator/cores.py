@@ -231,7 +231,9 @@ class _Context:
         self.quantum_left -= 1
         t = self.trace
         i = self.pos
-        return t.icounts[i], t.addrs[i], t.flags[i], t.regions[i]
+        # One packed-column read decodes the whole event (DESIGN.md §11).
+        m = t.meta[i]
+        return m >> 24, t.addrs[i], m & 0xFF, (m >> 8) & 0xFFFF
 
 
 class FatCore:

@@ -19,6 +19,7 @@ accounting maps to stall categories.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from .cache import CLEAN, DIRTY, SetAssocCache
@@ -323,11 +324,13 @@ class SharedL2Hierarchy:
         self.l2.access(line, write)
 
     def warm_block(
-        self, core: int, addrs, flags, lo: int, hi: int
+        self, core: int, addrs, meta, lo: int, hi: int
     ) -> None:
         """Batched :meth:`warm_data` over ``addrs[lo:hi]``.
 
-        Same state transitions reference-for-reference.  The L1 LRU update
+        ``addrs``/``meta`` are a trace's packed columns; ``FLAG_WRITE`` is
+        bit 0 of a meta word, so the write test needs no decode.  Same
+        state transitions reference-for-reference.  The L1 LRU update
         is inlined (dict pop + reinsert on the cache's own sets) with *no*
         stat counting: the warm/measure boundary resets every counter this
         loop would have bumped, so skipping them is unobservable — while
@@ -347,7 +350,7 @@ class SharedL2Hierarchy:
         log = self._warm_log
         log_append = None if log is None else log.append
         for i in range(lo, hi):
-            write = flags[i] & 0x1
+            write = meta[i] & 0x1
             line = addrs[i] >> 6
             sdict = sets[line % n_sets]
             state = sdict.pop(line, -1)
@@ -375,7 +378,7 @@ class SharedL2Hierarchy:
                 owners[line] = owners_get(line, 0) | bit
             l2_access(line, write)
             if log_append is not None:
-                log_append((line, write))
+                log_append(line << 1 | write)
 
     # ------------------------------------------------------------------ #
     # Warm-state capture/replay                                           #
@@ -394,24 +397,50 @@ class SharedL2Hierarchy:
         self._warm_log = []
 
     def capture_warm_state(self):
-        """Snapshot (L1 sets, owner map, L2 access log) after a warm-up."""
+        """Snapshot (L1 sets, owner map, L2 access log) after a warm-up.
+
+        The log is frozen to one flat ``array('Q')`` column of packed
+        ``line << 1 | write`` words: a third the memory of a tuple list
+        and a branch-free decode on replay.
+        """
         log = self._warm_log
         self._warm_log = None
         return (
             [[s.copy() for s in cache._sets] for cache in self._l1d],
             dict(self._l1_owners),
-            log if log is not None else [],
+            array("Q", log) if log is not None else array("Q"),
         )
 
     def restore_warm_state(self, state) -> None:
-        """Install a captured warm state (replays the L2 access log)."""
+        """Install a captured warm state (replays the L2 access log).
+
+        The replay loop inlines :meth:`.cache.SetAssocCache.access` with
+        no stat counting or victim bookkeeping: the warm/measure boundary
+        resets every counter it would have bumped (the same argument that
+        lets :meth:`warm_block` skip L1 stats), and during warm-up nothing
+        observes L2 eviction victims — so the identical access sequence
+        leaves the identical final L2 state.
+        """
         l1_sets, owners, l2_log = state
         for cache, sets in zip(self._l1d, l1_sets):
             cache._sets = [s.copy() for s in sets]
         self._l1_owners = dict(owners)
-        l2_access = self.l2.access
-        for line, write in l2_log:
-            l2_access(line, write)
+        l2 = self.l2
+        sets = l2._sets
+        n_sets = l2.n_sets
+        assoc = l2.assoc
+        for packed in l2_log:
+            line = packed >> 1
+            sdict = sets[line % n_sets]
+            state0 = sdict.pop(line, None)
+            if state0 is None:
+                if len(sdict) >= assoc:
+                    del sdict[next(iter(sdict))]
+                sdict[line] = packed & 1
+            else:
+                # CLEAN is 0 and DIRTY is 1, so a hit's next state is a
+                # plain OR of the write bit.
+                sdict[line] = state0 | (packed & 1)
 
     # ------------------------------------------------------------------ #
     # Instruction path                                                    #

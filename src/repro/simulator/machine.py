@@ -338,7 +338,7 @@ class Machine:
                     core_id, tr, warm_len = walkers[w]
                     pos = cursors[w]
                     end = min(pos + chunk, warm_len)
-                    warm_block(core_id, tr.addrs, tr.flags, pos, end)
+                    warm_block(core_id, tr.addrs, tr.meta, pos, end)
                     cursors[w] = end
                     if end >= warm_len:
                         done.append(w)
@@ -401,7 +401,26 @@ class Machine:
             )
         if not 0.0 <= warm_fraction <= 1.0:
             raise ValueError("warm_fraction must be within [0, 1]")
-        slots = self._assign(workload.traces)
+        # Zero-length traces carry no events: they cannot advance a
+        # context, so they are dropped before slot assignment (and a
+        # bundle of only empty traces measures an empty window).
+        live_traces = [tr for tr in workload.traces if len(tr)]
+        if not live_traces:
+            elapsed = 0.0 if mode == "response" else float(measure_cycles)
+            return MachineResult(
+                config_name=self.config.name,
+                workload_name=workload.name,
+                breakdown=Breakdown.total_of([]),
+                per_core=[],
+                retired=0,
+                elapsed=elapsed,
+                ipc=0.0,
+                response_cycles=0.0 if mode == "response" else None,
+                hier_stats=self.hierarchy.stats,
+                l2_miss_rate=self._l2_miss_rate(),
+                extras={"context_progress": []},
+            )
+        slots = self._assign(live_traces)
         if not warm_passes:
             def offset_of(tr: Trace) -> int:
                 return 0
@@ -424,7 +443,7 @@ class Machine:
                 probe.count(
                     "warm_refs",
                     warm_passes * sum(warm_len_of(tr)
-                                      for tr in workload.traces))
+                                      for tr in live_traces))
         probe.phase_start("measure")
         if mode == "response":
             response = self._run_response()

@@ -5,10 +5,19 @@ context), a sequence of *events*.  Each event is "execute ``icount``
 instructions from code region ``region``, then perform one data reference to
 ``addr`` with ``flags``".  Machines replay these traces under a timing model.
 
-Traces are stored as parallel compact arrays so that a 64-client saturated
-workload stays small, and are cyclic: steady-state workloads (a client
-submitting transactions forever) are represented by a finite trace replayed
-in a loop, mirroring the paper's SimFlex warm-then-measure sampling windows.
+Traces are **columnar**: each trace is two flat 64-bit columns (DESIGN.md
+§11).  ``addrs[i]`` is the byte address of reference ``i``; ``meta[i]``
+packs the rest of the event as ``icount << 24 | region << 8 | flags``.
+Columns are ``array('Q')`` when built in-process and may be zero-copy
+``memoryview`` slices over a shared-memory segment when a bundle is shared
+across pool workers; both index and slice identically, so the replay loops
+never care.  Packing keeps the append path one integer op plus one
+``list.append`` per column, and lets the hot replay loops decode an event
+with two shifts instead of four array reads.
+
+Traces are cyclic: steady-state workloads (a client submitting transactions
+forever) are represented by a finite trace replayed in a loop, mirroring
+the paper's SimFlex warm-then-measure sampling windows.
 """
 
 from __future__ import annotations
@@ -33,6 +42,35 @@ FLAG_CODE_JUMP = 0x8
 #: per-tuple decode is dependent.  Only long (off-chip) latencies benefit.
 FLAG_STREAM = 0x10
 
+#: Packed-event layout: ``meta = icount << 24 | region << 8 | flags``.
+#: 8 flag bits, 16 region-id bits (TraceBuilder.register_code enforces the
+#: cap), and 40 bits of icount headroom (icount itself is clamped to the
+#: legacy 32-bit storage range, so packing can never overflow 64 bits).
+META_ICOUNT_SHIFT = 24
+META_REGION_SHIFT = 8
+META_REGION_MASK = 0xFFFF
+META_FLAGS_MASK = 0xFF
+
+#: Largest icount one event can carry (legacy 32-bit storage range).
+MAX_EVENT_ICOUNT = 0xFFFF_FFFF
+
+
+def pack_meta(icount: int, flags: int = 0, region: int = 0) -> int:
+    """Pack one event's non-address fields into a 64-bit meta word."""
+    if icount < 0:
+        raise ValueError(f"negative icount {icount}")
+    if icount > MAX_EVENT_ICOUNT:
+        icount = MAX_EVENT_ICOUNT
+    return (icount << META_ICOUNT_SHIFT
+            | (region & META_REGION_MASK) << META_REGION_SHIFT
+            | (flags & META_FLAGS_MASK))
+
+
+def unpack_meta(meta: int) -> tuple[int, int, int]:
+    """``meta`` -> ``(icount, flags, region)``."""
+    return (meta >> META_ICOUNT_SHIFT, meta & META_FLAGS_MASK,
+            (meta >> META_REGION_SHIFT) & META_REGION_MASK)
+
 
 @dataclass(frozen=True)
 class CodeFootprint:
@@ -52,6 +90,12 @@ class CodeFootprint:
 class Trace:
     """An immutable per-context event sequence plus workload metadata.
 
+    The physical representation is two parallel 64-bit columns (``addrs``
+    and packed ``meta``); everything else — per-event field reads, the
+    decoded ``icounts``/``flags``/``regions`` views, slicing — is part of
+    the public accessor API so the storage format can evolve without test
+    churn (DESIGN.md §11).
+
     Attributes:
         name: Debug label, e.g. ``"tpcc-client-3"``.
         ilp: Instruction-level parallelism an out-of-order core extracts
@@ -60,7 +104,9 @@ class Trace:
             (RAW hazards stall what OoO scheduling would reorder around).
         branch_mpki: Branch mispredictions per kilo-instruction (drives the
             "other stalls" component).
-        footprints: Code regions indexed by the ``regions`` array.
+        footprints: Code regions indexed by the region field of ``meta``.
+        addrs: Flat address column (``array('Q')`` or a ``memoryview``).
+        meta: Flat packed-event column (same container kind as ``addrs``).
     """
 
     __slots__ = (
@@ -69,80 +115,178 @@ class Trace:
         "ilp_inorder",
         "branch_mpki",
         "footprints",
-        "icounts",
         "addrs",
-        "flags",
-        "regions",
-        "_total_instructions",
-        "_dependent_fraction",
-        "_write_fraction",
+        "meta",
+        "_stats",
     )
 
     def __init__(
         self,
         name: str,
-        icounts: array,
-        addrs: array,
-        flags: array,
-        regions: array,
+        addrs,
+        meta,
         footprints: list[CodeFootprint],
         ilp: float = 1.5,
         branch_mpki: float = 5.0,
         ilp_inorder: float | None = None,
     ):
-        if not len(icounts) == len(addrs) == len(flags) == len(regions):
-            raise ValueError("trace arrays must have equal lengths")
-        if len(icounts) == 0:
-            raise ValueError(f"trace {name!r} is empty")
+        if len(addrs) != len(meta):
+            raise ValueError("trace columns must have equal lengths")
         self.name = name
-        self.icounts = icounts
         self.addrs = addrs
-        self.flags = flags
-        self.regions = regions
+        self.meta = meta
         self.footprints = footprints
         self.ilp = ilp
         self.ilp_inorder = ilp * 0.75 if ilp_inorder is None else ilp_inorder
         self.branch_mpki = branch_mpki
-        # The trace is immutable, so aggregate scans can run once here
-        # instead of on every call (experiments query these per spec).
-        self._total_instructions = sum(icounts)
-        n = len(flags)
-        self._dependent_fraction = (
-            sum(1 for f in flags if f & FLAG_DEPENDENT) / n
-        )
-        self._write_fraction = sum(1 for f in flags if f & FLAG_WRITE) / n
+        # Aggregate scans run lazily, once, on first use: workload build
+        # never pays for statistics an experiment may not ask for.
+        self._stats = None
+
+    @classmethod
+    def from_columns(
+        cls,
+        name: str,
+        icounts,
+        addrs,
+        flags,
+        regions,
+        footprints: list[CodeFootprint],
+        ilp: float = 1.5,
+        branch_mpki: float = 5.0,
+        ilp_inorder: float | None = None,
+    ) -> "Trace":
+        """Build a trace from the four logical per-event field sequences.
+
+        Convenience path for tests and reference implementations; the
+        engine-side builders pack events directly.
+        """
+        if not len(icounts) == len(addrs) == len(flags) == len(regions):
+            raise ValueError("trace arrays must have equal lengths")
+        meta = array("Q", (
+            pack_meta(ic, fl, rg)
+            for ic, fl, rg in zip(icounts, flags, regions)
+        ))
+        return cls(name, array("Q", addrs), meta, footprints,
+                   ilp=ilp, branch_mpki=branch_mpki, ilp_inorder=ilp_inorder)
 
     def __len__(self) -> int:
-        return len(self.icounts)
+        return len(self.addrs)
+
+    # -- aggregate statistics ------------------------------------------ #
+
+    def _scan(self) -> tuple[int, float, float]:
+        stats = self._stats
+        if stats is None:
+            total = dep = wr = 0
+            for m in self.meta:
+                total += m >> 24
+                if m & FLAG_DEPENDENT:
+                    dep += 1
+                if m & FLAG_WRITE:
+                    wr += 1
+            n = len(self.meta)
+            stats = self._stats = (
+                total, dep / n if n else 0.0, wr / n if n else 0.0)
+        return stats
 
     @property
     def total_instructions(self) -> int:
         """Instructions retired in one full pass over the trace."""
-        return self._total_instructions
+        return self._scan()[0]
 
     @property
     def total_references(self) -> int:
         """Data references in one full pass over the trace."""
-        return len(self.icounts)
+        return len(self.addrs)
 
     def dependent_fraction(self) -> float:
         """Fraction of references flagged DEPENDENT (pointer chasing)."""
-        return self._dependent_fraction
+        return self._scan()[1]
 
     def write_fraction(self) -> float:
         """Fraction of references that are writes."""
-        return self._write_fraction
+        return self._scan()[2]
 
     def distinct_lines(self) -> int:
         """Number of distinct cache lines referenced (data only)."""
         return len({a >> 6 for a in self.addrs})
 
+    # -- per-event accessors ------------------------------------------- #
+
+    def icount_at(self, i: int) -> int:
+        """Instructions retired before reference ``i``."""
+        return self.meta[i] >> 24
+
+    def addr_at(self, i: int) -> int:
+        """Byte address of reference ``i``."""
+        return self.addrs[i]
+
+    def flags_at(self, i: int) -> int:
+        """``FLAG_*`` bits of reference ``i``."""
+        return self.meta[i] & 0xFF
+
+    def region_at(self, i: int) -> int:
+        """Code-region id of reference ``i``."""
+        return (self.meta[i] >> 8) & 0xFFFF
+
+    def access_at(self, i: int) -> tuple[int, int, int, int]:
+        """Event ``i`` as ``(icount, addr, flags, region)``."""
+        m = self.meta[i]
+        return m >> 24, self.addrs[i], m & 0xFF, (m >> 8) & 0xFFFF
+
+    def accesses(self):
+        """Iterate events as ``(icount, addr, flags, region)`` tuples."""
+        for a, m in zip(self.addrs, self.meta):
+            yield m >> 24, a, m & 0xFF, (m >> 8) & 0xFFFF
+
+    # -- decoded column views ------------------------------------------ #
+
+    @property
+    def icounts(self) -> array:
+        """Decoded per-event icount column (fresh copy; analysis only)."""
+        return array("I", (m >> 24 for m in self.meta))
+
+    @property
+    def flags(self) -> array:
+        """Decoded per-event flags column (fresh copy; analysis only)."""
+        return array("B", (m & 0xFF for m in self.meta))
+
+    @property
+    def regions(self) -> array:
+        """Decoded per-event region column (fresh copy; analysis only)."""
+        return array("H", ((m >> 8) & 0xFFFF for m in self.meta))
+
+    # -- views ---------------------------------------------------------- #
+
+    def sliced(self, lo: int = 0, hi: int | None = None) -> "Trace":
+        """The events ``[lo:hi)`` as a new trace sharing this metadata.
+
+        Slicing ``array`` columns copies; slicing ``memoryview`` columns
+        (shared-memory bundles) is zero-copy.
+        """
+        if hi is None:
+            hi = len(self.addrs)
+        return Trace(
+            name=f"{self.name}[{lo}:{hi}]",
+            addrs=self.addrs[lo:hi],
+            meta=self.meta[lo:hi],
+            footprints=self.footprints,
+            ilp=self.ilp,
+            branch_mpki=self.branch_mpki,
+            ilp_inorder=self.ilp_inorder,
+        )
+
 
 class TraceBuilder:
     """Accumulates events for one hardware context.
 
-    The engine-side tracer calls :meth:`event` once per modeled data
-    reference; :meth:`build` freezes the result.
+    The engine-side tracer calls :meth:`event` (or appends packed words to
+    the public ``addr_column``/``meta_column`` lists directly — the fused
+    builder loops do) once per modeled data reference; :meth:`build`
+    freezes the result into flat columns.  Plain Python lists take appends
+    faster than ``array`` objects; the one-shot ``array('Q', list)``
+    conversion at :meth:`build` is cheaper than per-event array appends.
     """
 
     def __init__(self, name: str, ilp: float = 1.5, branch_mpki: float = 5.0,
@@ -151,18 +295,13 @@ class TraceBuilder:
         self.ilp = ilp
         self.ilp_inorder = ilp_inorder
         self.branch_mpki = branch_mpki
-        self._icounts = array("I")
-        self._addrs = array("Q")
-        self._flags = array("B")
-        self._regions = array("H")
-        # Bound append methods: event() runs once per traced reference.
-        self._appends = (self._icounts.append, self._addrs.append,
-                         self._flags.append, self._regions.append)
+        self.addr_column: list[int] = []
+        self.meta_column: list[int] = []
         self._footprints: list[CodeFootprint] = []
         self._footprint_ids: dict[str, int] = {}
 
     def __len__(self) -> int:
-        return len(self._icounts)
+        return len(self.addr_column)
 
     def register_code(self, name: str, base: int, n_lines: int) -> int:
         """Register (or look up) a code footprint; returns its region id."""
@@ -186,22 +325,15 @@ class TraceBuilder:
             flags: OR of ``FLAG_*`` constants.
             region: Code region id from :meth:`register_code`.
         """
-        if icount < 0:
-            raise ValueError(f"negative icount {icount}")
-        add_icount, add_addr, add_flags, add_region = self._appends
-        add_icount(icount if icount <= 0xFFFF_FFFF else 0xFFFF_FFFF)
-        add_addr(addr)
-        add_flags(flags & 0xFF)
-        add_region(region)
+        self.meta_column.append(pack_meta(icount, flags, region))
+        self.addr_column.append(addr)
 
     def build(self) -> Trace:
         """Freeze the builder into an immutable Trace."""
         return Trace(
             name=self.name,
-            icounts=self._icounts,
-            addrs=self._addrs,
-            flags=self._flags,
-            regions=self._regions,
+            addrs=array("Q", self.addr_column),
+            meta=array("Q", self.meta_column),
             footprints=list(self._footprints),
             ilp=self.ilp,
             ilp_inorder=self.ilp_inorder,
@@ -241,3 +373,18 @@ class Workload:
     def total_instructions(self) -> int:
         """Instructions in one pass over every trace."""
         return sum(t.total_instructions for t in self.traces)
+
+    def client_view(self, indices) -> "Workload":
+        """A view of this bundle restricted to the clients in ``indices``.
+
+        Trace objects are shared, not copied; workload-level metadata is
+        carried over verbatim.
+        """
+        picked = [self.traces[i] for i in indices]
+        return Workload(
+            name=f"{self.name}#view",
+            traces=picked,
+            kind=self.kind,
+            saturated=self.saturated,
+            metadata=self.metadata,
+        )

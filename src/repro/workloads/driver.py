@@ -43,6 +43,41 @@ DSS_SATURATED_CHUNKS = 4
 DSS_UNSAT_CHUNKS = 16
 
 
+#: Optional bundle provider consulted by :func:`workload_for` after the
+#: in-process registry but before the builders.  A pool worker whose
+#: parent exported the sweep's bundles into a shared-memory arena
+#: installs one here (:func:`repro.core.parallel._shm_worker_init`) so a
+#: worker *without* an inherited bundle replays zero-copy column views
+#: instead of re-building or re-loading traces.  The provider returns a
+#: :class:`Workload` or None (fall through).
+_provider = None
+
+
+def set_workload_provider(provider) -> None:
+    """Install (or with None, remove) the bundle provider hook."""
+    global _provider
+    _provider = provider
+
+
+#: Bundles already materialized in this process, by ``workload_for``
+#: coordinate.  Preferred over the shared-memory provider: a fork-started
+#: worker inherits these exact objects — columns shared copy-on-write,
+#: and the simulator's warm-state memo entries are keyed by their ids —
+#: so serving them is strictly cheaper than remapping arena columns.
+#: Spawn-started workers (and anything else with a cold registry) fall
+#: through to the arena.
+_BUILT: dict[tuple, Workload] = {}
+_BUILT_CAP = 32
+
+
+def clear_workload_caches() -> None:
+    """Forget every in-process bundle (lru memoizers + the registry)."""
+    for memo in (oltp_workload, oltp_unsaturated, dss_workload,
+                 dss_unsaturated, dss_parallel_query):
+        memo.cache_clear()
+    _BUILT.clear()
+
+
 def _stored(builder: str, params: dict, build) -> Workload:
     """Consult the cross-process trace store before running ``build``.
 
@@ -163,13 +198,18 @@ def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
         raise ValueError("need at least one partition")
 
     def build() -> Workload:
-        from ..db.exec import AggSpec, Filter, SeqScan, StreamAggregate
+        from ..db.exec import AggSpec, Filter, SeqScan, StreamAggregate, fused
         from .tpch import DSS_BRANCH_MPKI, DSS_ILP, DSS_ILP_INORDER
 
         tpch = TpchDatabase(scale=scale, seed=seed)
         rows = min(tpch.n_lineitem, max(n_partitions,
                                         round(rows_nominal * scale)))
         per = rows // n_partitions
+        pred = lambda r: r[5] >= 0.05 and r[3] < 24
+
+        def update(st, r):
+            st[0] += r[4] * r[5]
+
         traces = []
         for p in range(n_partitions):
             lo = p * per
@@ -178,13 +218,16 @@ def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
                 f"q6-part{p}", ilp=DSS_ILP, branch_mpki=DSS_BRANCH_MPKI,
                 ilp_inorder=DSS_ILP_INORDER,
             )
-            scan = SeqScan(sess.ctx, tpch.lineitem, start=lo, stop=hi)
-            filt = Filter(sess.ctx, scan,
-                          lambda r: r[5] >= 0.05 and r[3] < 24, n_terms=3)
-            agg = StreamAggregate(sess.ctx, filt, [
-                AggSpec("sum", lambda r: r[4] * r[5], "revenue"),
-            ])
-            agg.execute()
+            aggs = [AggSpec("sum", lambda r: r[4] * r[5], "revenue")]
+            if fused.usable(sess.ctx, tpch.lineitem):
+                fused.scan_filter_stream_agg(
+                    sess.ctx, tpch.lineitem, lo, hi, pred, 3, aggs, update,
+                )
+            else:
+                scan = SeqScan(sess.ctx, tpch.lineitem, start=lo, stop=hi)
+                filt = Filter(sess.ctx, scan, pred, n_terms=3)
+                agg = StreamAggregate(sess.ctx, filt, aggs)
+                agg.execute()
             traces.append(sess.finish())
         return Workload(
             name=f"dss-parallel-{n_partitions}p",
@@ -214,6 +257,15 @@ def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
         raise ValueError(f"unknown workload kind {kind!r}")
     if regime not in ("saturated", "unsaturated"):
         raise ValueError(f"unknown regime {regime!r}")
+    coord = (kind, regime, scale, n_clients)
+    if seed is None:
+        local = _BUILT.get(coord)
+        if local is not None:
+            return local
+        if _provider is not None:
+            workload = _provider(kind, regime, scale, n_clients)
+            if workload is not None:
+                return workload
     if kind == "oltp":
         if regime == "saturated":
             kwargs = {"scale": scale}
@@ -221,15 +273,22 @@ def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
                 kwargs["seed"] = seed
             if n_clients is not None:
                 kwargs["n_clients"] = n_clients
-            return oltp_workload(**kwargs)
-        return oltp_unsaturated(scale=scale, **(
-            {"seed": seed} if seed is not None else {}))
-    if regime == "saturated":
+            workload = oltp_workload(**kwargs)
+        else:
+            workload = oltp_unsaturated(scale=scale, **(
+                {"seed": seed} if seed is not None else {}))
+    elif regime == "saturated":
         kwargs = {"scale": scale}
         if seed is not None:
             kwargs["seed"] = seed
         if n_clients is not None:
             kwargs["n_clients"] = n_clients
-        return dss_workload(**kwargs)
-    return dss_unsaturated(scale=scale, **(
-        {"seed": seed} if seed is not None else {}))
+        workload = dss_workload(**kwargs)
+    else:
+        workload = dss_unsaturated(scale=scale, **(
+            {"seed": seed} if seed is not None else {}))
+    if seed is None:
+        if len(_BUILT) >= _BUILT_CAP:
+            _BUILT.pop(next(iter(_BUILT)))
+        _BUILT[coord] = workload
+    return workload

@@ -26,8 +26,14 @@ import random
 
 from ..db import Database, Schema
 from ..db import costs
-from ..db.exec import AggSpec, Filter, HashJoin, SeqScan, StreamAggregate
+from ..db.exec import AggSpec, Filter, HashJoin, SeqScan, StreamAggregate, fused
 from ..db.types import char, float64, int64
+
+
+def _uss_update(st, r):
+    """uSS accumulator body (float-identical to its AggSpec updates)."""
+    st[0] += r[2]
+    st[1] += 1
 from ..simulator.trace import Workload
 from .tpcc import OLTP_BRANCH_MPKI, OLTP_ILP, OLTP_ILP_INORDER
 from .tpch import DSS_BRANCH_MPKI, DSS_ILP, DSS_ILP_INORDER
@@ -70,12 +76,18 @@ def micro_ss(n_rows: int = 40_000, selectivity: float = 0.1,
                             branch_mpki=DSS_BRANCH_MPKI,
                             ilp_inorder=DSS_ILP_INORDER)
     cut = int(20_000 * selectivity)
-    scan = SeqScan(sess.ctx, micro.t1)
-    filt = Filter(sess.ctx, scan, lambda r: r[1] < cut)
-    agg = StreamAggregate(sess.ctx, filt, [
-        AggSpec("sum", lambda r: r[2], "s"), AggSpec("count"),
-    ])
-    agg.execute()
+    pred = lambda r: r[1] < cut
+    aggs = [AggSpec("sum", lambda r: r[2], "s"), AggSpec("count")]
+    if fused.usable(sess.ctx, micro.t1):
+        fused.scan_filter_stream_agg(
+            sess.ctx, micro.t1, 0, micro.t1.n_rows, pred, 1, aggs,
+            _uss_update,
+        )
+    else:
+        scan = SeqScan(sess.ctx, micro.t1)
+        filt = Filter(sess.ctx, scan, pred)
+        agg = StreamAggregate(sess.ctx, filt, aggs)
+        agg.execute()
     return Workload("uSS", [sess.finish()], kind="dss", saturated=False)
 
 

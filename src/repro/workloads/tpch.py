@@ -35,6 +35,7 @@ from ..db.exec import (
     HashJoin,
     SeqScan,
     StreamAggregate,
+    fused,
 )
 from ..db.types import char, date, float64, int64
 
@@ -46,6 +47,55 @@ DSS_BRANCH_MPKI = 3.5
 
 #: The four queries, in the paper's order.
 QUERIES = ("q1", "q6", "q13", "q16")
+
+
+# Accumulator bodies for the fused drains.  Each mirrors the matching
+# AggSpec list's per-row updates with the identical float expressions and
+# evaluation order, so results are bit-identical to the generic operators.
+
+def _q1_update(st, r):
+    q = r[3]
+    p = r[4]
+    d = r[5]
+    st[0] += q
+    st[1] += p
+    st[2] += p * (1 - d)
+    st[3] += p * (1 - d) * (1 + r[6])
+    t, n = st[4]
+    st[4] = (t + q, n + 1)
+    t, n = st[5]
+    st[5] = (t + d, n + 1)
+    st[6] += 1
+
+
+def _q6_update(st, r):
+    st[0] += r[4] * r[5]
+    st[1] += 1
+
+
+def _count_update(st, r):
+    st[0] += 1
+
+
+#: (table, n_rows, seed) -> shared rid->row cache.  Virtual rows are a
+#: pure function of (rid, seed), so every database instance at the same
+#: scale serves identical tuples; bundle builds create several instances
+#: (saturated, unsaturated, parallel) and reuse each other's generated
+#: rows instead of recomputing them.  Rows are immutable tuples and
+#: per-instance writes go to the heap overlay, never this cache.
+_SHARED_ROWS: dict[tuple, dict[int, tuple]] = {}
+
+#: (table, n_rows, seed) -> shared page_no->row-block cache, the
+#: page-granular counterpart used by the fused scan drains.
+_SHARED_BLOCKS: dict[tuple, dict[int, list]] = {}
+
+
+def _shared_rows(table: str, n_rows: int, seed: int) -> dict[int, tuple]:
+    return _SHARED_ROWS.setdefault((table, n_rows, seed), {})
+
+
+def _shared_blocks(table: str, n_rows: int, seed: int) -> dict[int, list]:
+    return _SHARED_BLOCKS.setdefault((table, n_rows, seed), {})
 
 
 class TpchDatabase:
@@ -95,6 +145,9 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_lineitem,
             row_source=self._lineitem_row,
+            row_cache=_shared_rows("lineitem", self.n_lineitem, self.seed),
+            row_block_source=self._lineitem_block,
+            block_cache=_shared_blocks("lineitem", self.n_lineitem, self.seed),
         )
         self.orders = cat.create_table(
             Schema("orders", [
@@ -103,6 +156,9 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_orders,
             row_source=self._orders_row,
+            row_cache=_shared_rows("orders", self.n_orders, self.seed),
+            row_block_source=self._orders_block,
+            block_cache=_shared_blocks("orders", self.n_orders, self.seed),
         )
         self.customer = cat.create_table(
             Schema("customer", [
@@ -112,6 +168,9 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_customers,
             row_source=self._customer_row,
+            row_cache=_shared_rows("customer", self.n_customers, self.seed),
+            row_block_source=self._customer_block,
+            block_cache=_shared_blocks("customer", self.n_customers, self.seed),
         )
         self.part = cat.create_table(
             Schema("part", [
@@ -120,6 +179,9 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_parts,
             row_source=self._part_row,
+            row_cache=_shared_rows("part", self.n_parts, self.seed),
+            row_block_source=self._part_block,
+            block_cache=_shared_blocks("part", self.n_parts, self.seed),
         )
         self.partsupp = cat.create_table(
             Schema("partsupp", [
@@ -128,6 +190,9 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_partsupp,
             row_source=self._partsupp_row,
+            row_cache=_shared_rows("partsupp", self.n_partsupp, self.seed),
+            row_block_source=self._partsupp_block,
+            block_cache=_shared_blocks("partsupp", self.n_partsupp, self.seed),
         )
         self.supplier = cat.create_table(
             Schema("supplier", [
@@ -135,6 +200,7 @@ class TpchDatabase:
             ]),
             n_virtual_rows=self.n_suppliers,
             row_source=self._supplier_row,
+            row_cache=_shared_rows("supplier", self.n_suppliers, self.seed),
         )
 
     @staticmethod
@@ -184,6 +250,71 @@ class TpchDatabase:
         m = self._mix(rid, 6)
         return (rid, m % 25, "spad")
 
+    # Page-granular bulk forms of the row sources, with :meth:`_mix`
+    # inlined (salt pre-multiplied by 40503): one call builds a whole
+    # page, which is how the fused scan drains consume virtual tables.
+    # Each must stay row-for-row identical to its per-rid counterpart
+    # (``tests/test_workload_tpch.py`` locks the equivalence down).
+
+    def _lineitem_block(self, start: int, stop: int) -> list[tuple]:
+        n_parts = self.n_parts
+        n_supp = self.n_suppliers
+        out = []
+        app = out.append
+        for rid in range(start, stop):
+            x = (rid * 2654435761 + 40503) & 0xFFFF_FFFF
+            x ^= x >> 15
+            m = (((x * 2246822519) & 0xFFFF_FFFF) >> 1) & 0x7FFF_FFFF
+            app((rid // 4, m % n_parts, m % n_supp, 1 + m % 50,
+                 900.0 + (m % 99_000) / 10.0, (m % 11) / 100.0,
+                 (m % 9) / 100.0, m % 3, (m >> 4) % 2, m % 2556, m % 7,
+                 "lpad"))
+        return out
+
+    def _orders_block(self, start: int, stop: int) -> list[tuple]:
+        n_cust = self.n_customers
+        out = []
+        app = out.append
+        for rid in range(start, stop):
+            x = (rid * 2654435761 + 81006) & 0xFFFF_FFFF
+            x ^= x >> 15
+            m = (((x * 2246822519) & 0xFFFF_FFFF) >> 1) & 0x7FFF_FFFF
+            app((rid, m % n_cust, m % 2556,
+                 1000.0 + (m % 400_000) / 10.0, "opad"))
+        return out
+
+    def _customer_block(self, start: int, stop: int) -> list[tuple]:
+        out = []
+        app = out.append
+        for rid in range(start, stop):
+            x = (rid * 2654435761 + 121509) & 0xFFFF_FFFF
+            x ^= x >> 15
+            m = (((x * 2246822519) & 0xFFFF_FFFF) >> 1) & 0x7FFF_FFFF
+            app((rid, m % 25, -999.0 + (m % 19_999) / 10.0, m % 5, "cpad"))
+        return out
+
+    def _part_block(self, start: int, stop: int) -> list[tuple]:
+        out = []
+        app = out.append
+        for rid in range(start, stop):
+            x = (rid * 2654435761 + 162012) & 0xFFFF_FFFF
+            x ^= x >> 15
+            m = (((x * 2246822519) & 0xFFFF_FFFF) >> 1) & 0x7FFF_FFFF
+            app((rid, m % 25, m % 150, 1 + m % 50, "ppad"))
+        return out
+
+    def _partsupp_block(self, start: int, stop: int) -> list[tuple]:
+        n_supp = self.n_suppliers
+        out = []
+        app = out.append
+        for rid in range(start, stop):
+            x = (rid * 2654435761 + 202515) & 0xFFFF_FFFF
+            x ^= x >> 15
+            m = (((x * 2246822519) & 0xFFFF_FFFF) >> 1) & 0x7FFF_FFFF
+            app((rid // 4, m % n_supp, m % 10_000,
+                 1.0 + (m % 1000) / 10.0))
+        return out
+
     # ------------------------------------------------------------------ #
     # The four queries                                                    #
     # ------------------------------------------------------------------ #
@@ -212,20 +343,27 @@ class TpchDatabase:
         ctx = sess.ctx
         cutoff = 2450 + rng.randrange(60)  # random DELTA predicate
         lo, hi = self._window(rng, lo, hi, self.q1_window_rows)
+        pred = lambda r: r[9] <= cutoff
+        key_fn = lambda r: (r[7], r[8])
+        aggs = [
+            AggSpec("sum", lambda r: r[3], "sum_qty"),
+            AggSpec("sum", lambda r: r[4], "sum_base_price"),
+            AggSpec("sum", lambda r: r[4] * (1 - r[5]), "sum_disc_price"),
+            AggSpec("sum", lambda r: r[4] * (1 - r[5]) * (1 + r[6]),
+                    "sum_charge"),
+            AggSpec("avg", lambda r: r[3], "avg_qty"),
+            AggSpec("avg", lambda r: r[5], "avg_disc"),
+            AggSpec("count"),
+        ]
+        if fused.usable(ctx, self.lineitem):
+            return fused.scan_filter_hash_agg(
+                ctx, self.lineitem, lo, hi, pred, 1, (7, 8), aggs, 6,
+                _q1_update,
+            )
         scan = SeqScan(ctx, self.lineitem, start=lo, stop=hi)
-        filt = Filter(ctx, scan, lambda r: r[9] <= cutoff, n_terms=1)
+        filt = Filter(ctx, scan, pred, n_terms=1)
         agg = HashAggregate(
-            ctx, filt, lambda r: (r[7], r[8]),
-            [
-                AggSpec("sum", lambda r: r[3], "sum_qty"),
-                AggSpec("sum", lambda r: r[4], "sum_base_price"),
-                AggSpec("sum", lambda r: r[4] * (1 - r[5]), "sum_disc_price"),
-                AggSpec("sum", lambda r: r[4] * (1 - r[5]) * (1 + r[6]),
-                        "sum_charge"),
-                AggSpec("avg", lambda r: r[3], "avg_qty"),
-                AggSpec("avg", lambda r: r[5], "avg_disc"),
-                AggSpec("count"),
-            ],
+            ctx, filt, key_fn, aggs,
             expected_groups=6,
         )
         return agg.execute()
@@ -238,18 +376,20 @@ class TpchDatabase:
         year_lo = rng.randrange(5) * 365
         disc = 0.02 + rng.randrange(7) / 100.0
         lo, hi = self._window(rng, lo, hi, self.q6_window_rows)
-        scan = SeqScan(ctx, self.lineitem, start=lo, stop=hi)
-        filt = Filter(
-            ctx, scan,
-            lambda r: (year_lo <= r[9] < year_lo + 365
-                       and disc - 0.011 <= r[5] <= disc + 0.011
-                       and r[3] < 24),
-            n_terms=4,
-        )
-        agg = StreamAggregate(ctx, filt, [
+        pred = lambda r: (year_lo <= r[9] < year_lo + 365
+                          and disc - 0.011 <= r[5] <= disc + 0.011
+                          and r[3] < 24)
+        aggs = [
             AggSpec("sum", lambda r: r[4] * r[5], "revenue"),
             AggSpec("count"),
-        ])
+        ]
+        if fused.usable(ctx, self.lineitem):
+            return fused.scan_filter_stream_agg(
+                ctx, self.lineitem, lo, hi, pred, 4, aggs, _q6_update,
+            )
+        scan = SeqScan(ctx, self.lineitem, start=lo, stop=hi)
+        filt = Filter(ctx, scan, pred, n_terms=4)
+        agg = StreamAggregate(ctx, filt, aggs)
         return agg.execute()
 
     def q13(self, sess, rng: random.Random, lo: int, hi: int) -> list[tuple]:
@@ -258,9 +398,17 @@ class TpchDatabase:
         sess.tracer.compute(costs.QUERY_SETUP)
         ctx = sess.ctx
         seg = rng.randrange(5)  # random comment-pattern stand-in
-        cust = Filter(ctx, SeqScan(ctx, self.customer),
-                      lambda r: r[3] == seg, n_terms=1)
+        pred = lambda r: r[3] == seg
         o_lo, o_hi = self._window(rng, lo, hi, self.join_window_rows)
+        if fused.usable(ctx, self.customer, self.orders):
+            return fused.scan_filter_join_agg(
+                ctx, self.customer, 0, self.customer.n_rows, pred, 1, 0,
+                self.orders, o_lo, o_hi, 1,
+                0, [AggSpec("count")], self.n_customers,
+                _count_update,
+                dist=(1, [AggSpec("count")], 64, _count_update),
+            )
+        cust = Filter(ctx, SeqScan(ctx, self.customer), pred, n_terms=1)
         join = HashJoin(
             ctx, cust, SeqScan(ctx, self.orders, start=o_lo, stop=o_hi),
             build_key=lambda r: r[0], probe_key=lambda r: r[1],
@@ -286,10 +434,19 @@ class TpchDatabase:
         # The partsupp window determines which parts can match (ps_partkey
         # = rid // 4): scan exactly that part range on the build side.
         ps_lo, ps_hi = self._window(rng, lo, hi, self.join_window_rows)
+        pred = lambda r: r[1] != brand and r[3] in size_set
+        if fused.usable(ctx, self.part, self.partsupp):
+            return fused.scan_filter_join_agg(
+                ctx, self.part, ps_lo // 4,
+                max(ps_hi // 4, ps_lo // 4 + 1), pred, 3, 0,
+                self.partsupp, ps_lo, ps_hi, 0,
+                (1, 2, 3), [AggSpec("count")], 1024,
+                _count_update,
+            )
         parts = Filter(
             ctx, SeqScan(ctx, self.part, start=ps_lo // 4,
                          stop=max(ps_hi // 4, ps_lo // 4 + 1)),
-            lambda r: r[1] != brand and r[3] in size_set, n_terms=3,
+            pred, n_terms=3,
         )
         join = HashJoin(
             ctx, parts, SeqScan(ctx, self.partsupp, start=ps_lo, stop=ps_hi),

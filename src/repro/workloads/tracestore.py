@@ -40,17 +40,24 @@ from array import array
 from ..simulator.trace import CodeFootprint, Trace, Workload
 
 #: Engine/format version salt.  Part of every hashed key: bump on any
-#: change to trace building or the serialized layout.
-TRACE_VERSION = "repro-traces-v1"
+#: change to trace building or the serialized layout.  v2: packed
+#: columnar traces stored raw (DESIGN.md §11).
+TRACE_VERSION = "repro-traces-v2"
 
 #: Environment variable holding the store root directory.
 ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 
-#: Entry file magic ("Repro TRaCe").
-_MAGIC = b"RTRC"
+#: Entry file magic ("Repro Trace, Columnar, v2").  v1 entries carry
+#: ``b"RTRC"``: a different magic, so an old-format file is rejected at
+#: the header check — a clean miss, never a misparse.
+_MAGIC = b"RTC2"
 
 #: Fixed header: magic + u64 payload length + 32-byte SHA-256 of payload.
 _HEADER = struct.Struct("<4sQ32s")
+
+#: Payload prelude: u64 length of the pickled metadata document that
+#: precedes the raw column blobs.
+_DOC_LEN = struct.Struct("<Q")
 
 
 @dataclass
@@ -68,9 +75,20 @@ class TraceStoreStats:
 
 
 def _freeze(key, workload: Workload) -> bytes:
-    """Serialize a workload (with its key echoed) to a payload blob."""
+    """Serialize a workload (with its key echoed) to a payload blob.
+
+    Layout: ``u64 doc_len | pickle(doc) | raw column bytes``.  The pickled
+    document holds only small metadata (names, footprints, per-trace blob
+    offsets); the trace columns themselves land as raw little-endian
+    64-bit words, so :func:`_thaw` reconstructs them with one buffer copy
+    per column — no per-access unpickling.
+    """
     traces = []
+    blobs = []
+    offset = 0
     for tr in workload.traces:
+        addr_blob = tr.addrs.tobytes()
+        meta_blob = tr.meta.tobytes()
         traces.append({
             "name": tr.name,
             "ilp": tr.ilp,
@@ -78,10 +96,13 @@ def _freeze(key, workload: Workload) -> bytes:
             "branch_mpki": tr.branch_mpki,
             "footprints": [(fp.name, fp.base, fp.n_lines)
                            for fp in tr.footprints],
-            "arrays": [(a.typecode, a.tobytes())
-                       for a in (tr.icounts, tr.addrs, tr.flags, tr.regions)],
+            "n_events": len(tr),
+            "offset": offset,
         })
-    return pickle.dumps({
+        blobs.append(addr_blob)
+        blobs.append(meta_blob)
+        offset += len(addr_blob) + len(meta_blob)
+    doc = pickle.dumps({
         "version": TRACE_VERSION,
         "key": key,
         "name": workload.name,
@@ -90,29 +111,37 @@ def _freeze(key, workload: Workload) -> bytes:
         "metadata": workload.metadata,
         "traces": traces,
     }, protocol=pickle.HIGHEST_PROTOCOL)
+    return b"".join([_DOC_LEN.pack(len(doc)), doc] + blobs)
 
 
 def _thaw(payload: bytes, key) -> Workload:
     """Rebuild a workload from a payload blob; raises on any mismatch."""
-    doc = pickle.loads(payload)
+    if len(payload) < _DOC_LEN.size:
+        raise ValueError("truncated payload prelude")
+    (doc_len,) = _DOC_LEN.unpack_from(payload)
+    blob_base = _DOC_LEN.size + doc_len
+    if len(payload) < blob_base:
+        raise ValueError("truncated metadata document")
+    doc = pickle.loads(payload[_DOC_LEN.size:blob_base])
     if doc["version"] != TRACE_VERSION:
         raise ValueError(f"trace entry version {doc['version']!r}")
     if doc["key"] != key:
         raise ValueError("trace entry key mismatch (hash collision?)")
+    view = memoryview(payload)
     traces = []
     for td in doc["traces"]:
-        arrays = []
-        for typecode, raw in td["arrays"]:
-            arr = array(typecode)
-            arr.frombytes(raw)
-            arrays.append(arr)
-        icounts, addrs, flags, regions = arrays
+        n_bytes = td["n_events"] * 8
+        lo = blob_base + td["offset"]
+        if lo + 2 * n_bytes > len(payload):
+            raise ValueError("truncated column data")
+        addrs = array("Q")
+        addrs.frombytes(view[lo:lo + n_bytes])
+        meta = array("Q")
+        meta.frombytes(view[lo + n_bytes:lo + 2 * n_bytes])
         traces.append(Trace(
             name=td["name"],
-            icounts=icounts,
             addrs=addrs,
-            flags=flags,
-            regions=regions,
+            meta=meta,
             footprints=[CodeFootprint(name=n, base=b, n_lines=nl)
                         for n, b, nl in td["footprints"]],
             ilp=td["ilp"],

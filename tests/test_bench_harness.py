@@ -210,6 +210,34 @@ class TestCompare:
         assert cmp["total_speedup"] == pytest.approx(2.625)
         assert cmp["baseline_commit"] == "abc123"
 
+    def test_phase_speedups_attribute_the_split(self):
+        new = self._record({"serial": 1.0, "parallel-cold": 0.5})
+        base = self._record({"serial": 2.0, "parallel-cold": 2.0})
+        for run, build, sim in zip(new["runs"], (0.4, 0.1), (0.6, 0.4)):
+            run.update(trace_build_seconds=build, simulate_seconds=sim)
+        for run, build, sim in zip(base["runs"], (1.5, 1.2), (0.5, 0.8)):
+            run.update(trace_build_seconds=build, simulate_seconds=sim)
+        cmp = compare_bench(new, base)
+        assert cmp["phases"]["trace_build_seconds"]["speedup"] == \
+            pytest.approx(2.7 / 0.5)
+        assert cmp["phases"]["simulate_seconds"]["speedup"] == \
+            pytest.approx(1.3 / 1.0)
+        assert "trace_build 5.4x" in format_bench(
+            {**new, "code_version": CODE_VERSION, "python": "3.x",
+             "platform": "test", "runs": [
+                 {**run, "specs": 1, "simulated": 1, "accesses": 10,
+                  "accesses_per_sec": 10.0, "worker_utilization": 1.0,
+                  "cache": None} for run in new["runs"]],
+             "compare": cmp})
+
+    def test_v1_baseline_without_phase_split_omits_phases(self):
+        new = self._record({"serial": 1.0})
+        new["runs"][0].update(trace_build_seconds=0.4, simulate_seconds=0.6)
+        base = self._record({"serial": 2.0})  # no phase fields (v1)
+        cmp = compare_bench(new, base)
+        assert "phases" not in cmp
+        assert cmp["modes"]["serial"]["speedup"] == 2.0
+
     def test_missing_baseline_mode_contributes_nothing(self):
         new = self._record({"serial": 1.0, "parallel-cold": 0.5})
         base = self._record({"serial": 3.0})
@@ -271,4 +299,4 @@ def test_cli_and_standalone_entry_points(clean_env, tmp_path, capsys):
 
 
 def test_default_out_is_repo_root_snapshot():
-    assert bench.DEFAULT_OUT == "BENCH_PR5.json"
+    assert bench.DEFAULT_OUT == "BENCH_PR6.json"

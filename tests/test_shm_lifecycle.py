@@ -1,0 +1,302 @@
+"""Shared-memory bundle arena lifecycle: no leaks, no double-frees.
+
+The arena (DESIGN.md §11) has exactly one owner — the parent that
+created it in ``run_specs`` — and exactly one unlink, in the ``finally``
+after the pool is gone.  These tests drive that contract through clean
+sweeps, ``REPRO_FAULTS`` worker crashes, and checkpoint-resume, and pin
+the telemetry ledger (``shm_create`` / ``shm_attach`` / ``shm_cleanup``)
+that makes the lifecycle auditable after the fact.
+"""
+
+import multiprocessing.shared_memory as shared_memory
+import os
+
+import pytest
+
+from repro.core import parallel
+from repro.core.parallel import (
+    RunSpec,
+    SharedBundleArena,
+    SweepError,
+    attach_segment,
+    attached_segments,
+    release_segment,
+    run_specs,
+    shm_enabled,
+)
+from repro.core.telemetry import load_events
+from repro.simulator.configs import fc_cmp
+from repro.workloads import driver
+
+SCALE = 0.01
+CYCLES = 5_000
+
+
+def _specs(n: int = 3) -> list[RunSpec]:
+    return [
+        RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=mb, scale=SCALE), "dss")
+        for mb in (1.0, 2.0, 4.0, 8.0)[:n]
+    ]
+
+
+def _bundle() -> dict:
+    wl = driver.dss_workload(scale=SCALE)
+    return {("dss", "saturated", None): wl}
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        seg = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return False
+    seg.close()
+    return True
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    for var in ("REPRO_FAULTS", "REPRO_RETRIES", "REPRO_TIMEOUT",
+                "REPRO_BACKOFF", "REPRO_FAIL_FAST", "REPRO_CHECKPOINT",
+                "REPRO_JOBS", "REPRO_SHM", "REPRO_TELEMETRY"):
+        monkeypatch.delenv(var, raising=False)
+    return monkeypatch
+
+
+def _shm_events(path: str) -> dict[str, list[dict]]:
+    out: dict[str, list[dict]] = {"shm_create": [], "shm_attach": [],
+                                  "shm_cleanup": []}
+    for ev in load_events(path):
+        if ev["ev"] in out:
+            out[ev["ev"]].append(ev)
+    return out
+
+
+pytestmark = pytest.mark.skipif(
+    SharedBundleArena.create(_bundle(), SCALE) is None,
+    reason="shared memory unusable on this platform")
+
+
+class TestSegmentRefcounting:
+    """attach_segment/release_segment: per-process refcounted mappings."""
+
+    def test_attach_twice_is_one_mapping_two_refs(self):
+        arena = SharedBundleArena.create(_bundle(), SCALE)
+        name = arena.segment
+        try:
+            seg1 = attach_segment(name)
+            seg2 = attach_segment(name)
+            assert seg1 is seg2
+            assert attached_segments()[name] == 2
+            assert release_segment(name) is True
+            assert attached_segments()[name] == 1
+            assert release_segment(name) is True
+            assert name not in attached_segments()
+        finally:
+            arena.cleanup()
+
+    def test_release_of_unknown_segment_is_safe_noop(self):
+        # Never raises, never double-closes — chaos paths call release
+        # unconditionally.
+        assert release_segment("repro-shm-never-attached") is False
+
+    def test_release_past_zero_is_safe(self):
+        arena = SharedBundleArena.create(_bundle(), SCALE)
+        name = arena.segment
+        try:
+            attach_segment(name)
+            assert release_segment(name) is True
+            assert release_segment(name) is False
+            assert release_segment(name) is False
+        finally:
+            arena.cleanup()
+
+    def test_attach_after_owner_unlink_raises_cleanly(self):
+        arena = SharedBundleArena.create(_bundle(), SCALE)
+        name = arena.segment
+        arena.cleanup()
+        with pytest.raises(FileNotFoundError):
+            attach_segment(name)
+
+
+class TestArenaOwnership:
+    def test_cleanup_is_idempotent(self):
+        arena = SharedBundleArena.create(_bundle(), SCALE)
+        assert _segment_exists(arena.segment)
+        assert arena.cleanup() is True
+        assert not _segment_exists(arena.segment)
+        # Second (and third) cleanup: no-op, no exception, reports False
+        # so run_specs emits exactly one shm_cleanup event.
+        assert arena.cleanup() is False
+        assert arena.cleanup() is False
+
+    def test_manifest_reconstructs_bundles_zero_copy(self):
+        bundles = _bundle()
+        arena = SharedBundleArena.create(bundles, SCALE)
+        try:
+            got = parallel._attach_bundles(arena.manifest)
+            (coord, wl), = bundles.items()
+            shm_wl = got[coord]
+            assert [t.name for t in shm_wl.traces] == \
+                [t.name for t in wl.traces]
+            for ours, theirs in zip(wl.traces, shm_wl.traces):
+                assert len(ours) == len(theirs)
+                assert isinstance(theirs.addrs, memoryview)
+                n = len(ours)
+                for i in (0, n // 2, n - 1):
+                    assert ours.access_at(i) == theirs.access_at(i)
+        finally:
+            release_segment(arena.segment)
+            arena.cleanup()
+
+
+class TestArenaServedReplay:
+    def test_provider_served_bundles_replay_bit_identical(
+            self, clean_env, monkeypatch):
+        """With the local registry cold, workload_for serves the arena's
+        memoryview-backed bundles — and every MachineResult field must
+        equal a direct (array-backed) run.  This is the spawn-worker
+        path, exercised in-process."""
+        spec = RunSpec(fc_cmp(n_cores=4, l2_nominal_mb=2.0, scale=SCALE),
+                       "dss")
+        direct = parallel.execute(spec, SCALE, CYCLES)
+
+        arena = SharedBundleArena.create(_bundle(), SCALE)
+        try:
+            bundles = parallel._attach_bundles(arena.manifest)
+            driver.clear_workload_caches()
+            monkeypatch.setattr(driver, "_provider",
+                                parallel._make_provider(bundles, SCALE))
+            via_arena = parallel.execute(spec, SCALE, CYCLES)
+        finally:
+            monkeypatch.setattr(driver, "_provider", None)
+            driver.clear_workload_caches()
+            release_segment(arena.segment)
+            arena.cleanup()
+        assert via_arena == direct
+
+
+@pytest.fixture
+def shm_on(clean_env):
+    """Force the arena on: fork platforms auto-disable it (COW already
+    shares the columns), and these tests exist to exercise the arena."""
+    clean_env.setenv("REPRO_SHM", "1")
+    return clean_env
+
+
+class TestSweepLifecycle:
+    def test_clean_pooled_sweep_creates_attaches_and_cleans(
+            self, tmp_path, shm_on):
+        log = str(tmp_path / "telemetry.jsonl")
+        baseline = run_specs(_specs(2), SCALE, CYCLES, jobs=1)
+        pooled = run_specs(_specs(2), SCALE, CYCLES, jobs=2, telemetry=log)
+        assert pooled == baseline
+
+        evs = _shm_events(log)
+        assert len(evs["shm_create"]) == 1
+        assert len(evs["shm_cleanup"]) == 1
+        segment = evs["shm_create"][0]["segment"]
+        assert evs["shm_cleanup"][0]["segment"] == segment
+        assert evs["shm_create"][0]["bundles"] >= 1
+        assert evs["shm_create"][0]["bytes"] > 0
+        # Workers attached the same segment they were told about.
+        assert evs["shm_attach"], "no worker ever attached the arena"
+        assert {e["segment"] for e in evs["shm_attach"]} == {segment}
+        # And the parent's unlink really removed it.
+        assert not _segment_exists(segment)
+
+    def test_auto_mode_follows_start_method(self, clean_env):
+        """Unset REPRO_SHM: the arena exports only where workers do not
+        inherit the parent's bundles (non-fork start methods)."""
+        import multiprocessing
+        expected = multiprocessing.get_start_method() != "fork"
+        assert shm_enabled() is expected
+        clean_env.setenv("REPRO_SHM", "1")
+        assert shm_enabled() is True
+        clean_env.setenv("REPRO_SHM", "0")
+        assert shm_enabled() is False
+
+    def test_disabled_by_env_knob(self, tmp_path, clean_env):
+        clean_env.setenv("REPRO_SHM", "0")
+        assert not shm_enabled()
+        log = str(tmp_path / "telemetry.jsonl")
+        baseline = run_specs(_specs(2), SCALE, CYCLES, jobs=1)
+        pooled = run_specs(_specs(2), SCALE, CYCLES, jobs=2, telemetry=log)
+        assert pooled == baseline
+        evs = _shm_events(log)
+        assert evs["shm_create"] == []
+        assert evs["shm_attach"] == []
+        assert evs["shm_cleanup"] == []
+
+    def test_worker_crashes_never_leak_the_segment(self, tmp_path,
+                                                   shm_on):
+        """A crashed worker takes its mapping down with its process; the
+        parent still owns — and unlinks — the one segment."""
+        shm_on.setenv("REPRO_FAULTS", "crash@1")
+        log = str(tmp_path / "telemetry.jsonl")
+        got = run_specs(_specs(3), SCALE, CYCLES, jobs=2, retries=3,
+                        backoff=0.0, telemetry=log)
+        shm_on.delenv("REPRO_FAULTS")
+        assert got == run_specs(_specs(3), SCALE, CYCLES, jobs=1)
+
+        evs = _shm_events(log)
+        assert len(evs["shm_create"]) == 1
+        assert len(evs["shm_cleanup"]) == 1
+        segment = evs["shm_create"][0]["segment"]
+        assert not _segment_exists(segment)
+
+    def test_failed_sweep_still_cleans_up(self, tmp_path, shm_on):
+        """Even a sweep that ends in SweepError (retries exhausted) must
+        release its arena on the way out."""
+        shm_on.setenv("REPRO_FAULTS", "exec@0x99")
+        log = str(tmp_path / "telemetry.jsonl")
+        with pytest.raises(SweepError):
+            run_specs(_specs(2), SCALE, CYCLES, jobs=2, retries=0,
+                      backoff=0.0, telemetry=log)
+        evs = _shm_events(log)
+        assert len(evs["shm_create"]) == 1
+        assert len(evs["shm_cleanup"]) == 1
+        assert not _segment_exists(evs["shm_create"][0]["segment"])
+
+    def test_checkpoint_resume_after_crash_rebuilds_arena(
+            self, tmp_path, shm_on):
+        """Crash mid-sweep, then resume: the resumed sweep exports a fresh
+        arena for the unfinished specs (the dead one was unlinked), and
+        the combined results match a fault-free serial baseline."""
+        baseline = run_specs(_specs(3), SCALE, CYCLES, jobs=1)
+        path = str(tmp_path / "sweep.ckpt")
+        log = str(tmp_path / "telemetry.jsonl")
+
+        # Two failed specs, so the resumed sweep still has enough pending
+        # work to take the pooled (arena-exporting) path.
+        shm_on.setenv("REPRO_FAULTS", "exec@1x99;exec@2x99")
+        with pytest.raises(SweepError):
+            run_specs(_specs(3), SCALE, CYCLES, jobs=2, retries=0,
+                      backoff=0.0, checkpoint=path, telemetry=log)
+        shm_on.delenv("REPRO_FAULTS")
+
+        first = _shm_events(log)
+        assert len(first["shm_create"]) == 1
+        assert len(first["shm_cleanup"]) == 1
+        dead_segment = first["shm_create"][0]["segment"]
+        assert not _segment_exists(dead_segment)
+
+        resumed = run_specs(_specs(3), SCALE, CYCLES, jobs=2,
+                            checkpoint=path, telemetry=log)
+        assert resumed == baseline
+
+        evs = _shm_events(log)
+        # One create/cleanup pair per sweep; the resume never reuses the
+        # unlinked segment name.
+        assert len(evs["shm_create"]) == 2
+        assert len(evs["shm_cleanup"]) == 2
+        second_segment = evs["shm_create"][1]["segment"]
+        assert second_segment != dead_segment
+        assert not _segment_exists(second_segment)
+
+    def test_serial_sweeps_never_touch_shared_memory(self, tmp_path,
+                                                     clean_env):
+        log = str(tmp_path / "telemetry.jsonl")
+        run_specs(_specs(2), SCALE, CYCLES, jobs=1, telemetry=log)
+        evs = _shm_events(log)
+        assert evs["shm_create"] == []
+        assert evs["shm_cleanup"] == []

@@ -31,10 +31,36 @@ class TestBuilder:
         assert tr.total_instructions == 30
         assert tr.total_references == 2
 
-    def test_empty_trace_rejected(self):
-        tb = TraceBuilder("t")
-        with pytest.raises(ValueError):
-            tb.build()
+    def test_empty_trace_builds_cleanly(self):
+        # Zero-length traces are legal (a client that did no work): they
+        # carry no events, replay as a no-op, and every aggregate is zero.
+        tr = TraceBuilder("t").build()
+        assert len(tr) == 0
+        assert tr.total_instructions == 0
+        assert tr.total_references == 0
+        assert tr.dependent_fraction() == 0.0
+        assert tr.write_fraction() == 0.0
+        assert tr.distinct_lines() == 0
+        assert list(tr.accesses()) == []
+        assert len(tr.sliced(0, 0)) == 0
+
+    def test_per_event_accessors(self):
+        tr = build_trace([(10, 0x100, 0), (20, 0x240, FLAG_WRITE)])
+        assert tr.icount_at(1) == 20
+        assert tr.addr_at(1) == 0x240
+        assert tr.flags_at(1) == FLAG_WRITE
+        assert tr.region_at(1) == tr.region_at(0)
+        assert tr.access_at(0) == (10, 0x100, 0, tr.region_at(0))
+        assert list(tr.accesses()) == [tr.access_at(0), tr.access_at(1)]
+
+    def test_sliced_view_matches_naive_slice(self):
+        events = [(i + 1, 0x100 + 64 * i, i % 4) for i in range(10)]
+        tr = build_trace(events)
+        view = tr.sliced(3, 8)
+        assert list(view.accesses()) == list(tr.accesses())[3:8]
+        assert view.footprints is tr.footprints
+        assert (view.ilp, view.ilp_inorder, view.branch_mpki) == \
+            (tr.ilp, tr.ilp_inorder, tr.branch_mpki)
 
     def test_negative_icount_rejected(self):
         tb = TraceBuilder("t")

@@ -43,10 +43,7 @@ def no_ambient_store(monkeypatch):
 
 
 def _clear_driver_caches():
-    for memo in (driver.oltp_workload, driver.oltp_unsaturated,
-                 driver.dss_workload, driver.dss_unsaturated,
-                 driver.dss_parallel_query):
-        memo.cache_clear()
+    driver.clear_workload_caches()
 
 
 def _tiny_workload(name="tiny"):
@@ -54,7 +51,7 @@ def _tiny_workload(name="tiny"):
     traces = []
     for i in range(2):
         n = 50 + i
-        traces.append(Trace(
+        traces.append(Trace.from_columns(
             name=f"{name}-client-{i}",
             icounts=array("I", range(1, n + 1)),
             addrs=array("Q", (0x4000_0000 + 64 * j for j in range(n))),
@@ -76,8 +73,7 @@ def _traces_equal(a: Workload, b: Workload) -> bool:
         if (ta.name, ta.ilp, ta.ilp_inorder, ta.branch_mpki) != \
                 (tb.name, tb.ilp, tb.ilp_inorder, tb.branch_mpki):
             return False
-        if (ta.icounts, ta.addrs, ta.flags, ta.regions) != \
-                (tb.icounts, tb.addrs, tb.flags, tb.regions):
+        if list(ta.accesses()) != list(tb.accesses()):
             return False
         if [(f.name, f.base, f.n_lines) for f in ta.footprints] != \
                 [(f.name, f.base, f.n_lines) for f in tb.footprints]:
@@ -164,7 +160,56 @@ class TestCorruption:
         path.write_bytes(bytes(blob))
         assert store.get(("k", 1)) is None
         assert store.stats.errors == 1
-        assert _MAGIC == b"RTRC"
+        assert _MAGIC == b"RTC2"
+
+    def test_old_format_entry_is_clean_miss(self, tmp_path):
+        """A v1 entry (``RTRC`` magic, pickled-arrays payload) at the
+        right path is rejected at the header check — an error-counted
+        miss, never a misparse — then unlinked and rebuilt."""
+        import hashlib
+        import pickle
+        store, path = self._stored_path(tmp_path)
+        payload = pickle.dumps({"version": "repro-traces-v1"})
+        blob = _HEADER.pack(b"RTRC", len(payload),
+                            hashlib.sha256(payload).digest()) + payload
+        path.write_bytes(blob)
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1 and store.stats.misses == 1
+        assert not path.exists()
+        store.put(("k", 1), _tiny_workload())
+        assert store.get(("k", 1)) is not None
+
+    def test_flipped_column_byte_detected_and_rebuilt(self, tmp_path):
+        """The header SHA covers the raw column blobs, not just the
+        metadata document: one bit flipped deep inside the address
+        column is detected, the entry unlinked, and a rebuild served."""
+        store, path = self._stored_path(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0x01          # inside the last trace's meta column
+        path.write_bytes(bytes(blob))
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
+        assert not path.exists()
+        store.put(("k", 1), _tiny_workload())
+        got = store.get(("k", 1))
+        assert got is not None and _traces_equal(got, _tiny_workload())
+
+    def test_truncated_column_data_is_miss(self, tmp_path):
+        """An entry whose payload-length and checksum are valid but whose
+        per-trace offsets point past the end (internal truncation) is
+        caught by the column bounds check."""
+        import hashlib
+        from repro.workloads.tracestore import _freeze
+        store = TraceStore(tmp_path)
+        payload = bytearray(_freeze(("k", 1), _tiny_workload()))
+        payload = bytes(payload[:-16])     # drop the final column words
+        blob = _HEADER.pack(_MAGIC, len(payload),
+                            hashlib.sha256(payload).digest()) + payload
+        path = store.path_for(("k", 1))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(blob)
+        assert store.get(("k", 1)) is None
+        assert store.stats.errors == 1
 
     def test_key_echo_rejects_misfiled_entry(self, tmp_path):
         """An entry sitting at the wrong path (hash collision, copied

@@ -42,6 +42,36 @@ class TestGeneration:
             TpchDatabase(scale=0)
 
 
+class TestBlockGenerators:
+    """The page-granular ``_*_block`` bulk generators must stay
+    row-for-row identical to their per-rid ``_*_row`` sources — the
+    fused scan drains build pages with the former, ``get()`` serves
+    point lookups with the latter."""
+
+    TABLES = ("lineitem", "orders", "customer", "part", "partsupp")
+
+    @pytest.mark.parametrize("table", TABLES)
+    def test_block_matches_per_rid_rows(self, tpch, table):
+        n_rows = getattr(tpch, {
+            "lineitem": "n_lineitem", "orders": "n_orders",
+            "customer": "n_customers", "part": "n_parts",
+            "partsupp": "n_partsupp"}[table])
+        block = getattr(tpch, f"_{table}_block")
+        row = getattr(tpch, f"_{table}_row")
+        # Head, an interior page, and the ragged tail.
+        spans = [(0, min(128, n_rows)),
+                 (n_rows // 2, min(n_rows // 2 + 128, n_rows)),
+                 (max(0, n_rows - 37), n_rows)]
+        for lo, hi in spans:
+            assert block(lo, hi) == [row(rid) for rid in range(lo, hi)]
+
+    def test_heap_pages_serve_block_rows(self, tpch):
+        """A page read off the heap equals the per-rid get() view."""
+        cap = tpch.lineitem.format.capacity
+        got = tpch.lineitem.page_rows(1)
+        assert got == lineitem_rows(tpch, cap, 2 * cap)
+
+
 class TestQueriesMatchNaive:
     def test_q1_matches_naive(self, tpch):
         sess = tpch.db.session("q1", traced=False)
