@@ -32,6 +32,13 @@ Analytical model + design-space explorer (see DESIGN.md §10)::
     python -m repro explore                           # prune-then-confirm
     python -m repro explore --quick --jobs 4          # CI smoke budget
 
+Design-space-as-a-service (see DESIGN.md §12)::
+
+    python -m repro serve                             # TCP JSON-lines API
+    python -m repro serve --host 0.0.0.0 --port 9000
+    python -m repro --scale 0.05 serve --self-test    # CI smoke probe
+    python -m repro bench --load                      # latency percentiles
+
 Parallelism, caching, and resilience can also be driven from the
 environment: ``REPRO_JOBS`` sets the default worker count,
 ``REPRO_CACHE_DIR`` the persistent result-cache root,
@@ -138,8 +145,23 @@ def run_stats(target: str) -> int:
 
 
 def run_bench_cmd(quick: bool, out_path: str | None,
-                  compare: str | None = None) -> int:
-    """Time the pinned mini-sweep and write a ``BENCH_*.json`` snapshot."""
+                  compare: str | None = None,
+                  load: bool = False) -> int:
+    """Time the pinned mini-sweep and write a ``BENCH_*.json`` snapshot.
+
+    With ``load``, run the service load test (``repro bench --load``)
+    instead: closed-loop concurrent clients against an in-process
+    :class:`~repro.serve.service.DesignService`, latency percentiles
+    out (see DESIGN.md §12.5).
+    """
+    if load:
+        from .serve import loadtest
+
+        out = out_path or loadtest.DEFAULT_LOAD_OUT
+        record = loadtest.run_load(out_path=out)
+        print(loadtest.format_load(record))
+        print(f"wrote {out}")
+        return 0
     from .core import bench
 
     out = out_path or bench.DEFAULT_OUT
@@ -151,6 +173,19 @@ def run_bench_cmd(quick: bool, out_path: str | None,
     print(bench.format_bench(record))
     print(f"wrote {out}")
     return 0
+
+
+def run_serve_cmd(args) -> int:
+    """The ``repro serve`` target: TCP front end or ``--self-test``."""
+    from .serve import DesignService
+    from .serve.server import run_self_test, run_server
+
+    exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
+                     use_cache=not args.no_cache)
+    service = DesignService(exp)
+    if args.self_test:
+        return run_self_test(service)
+    return run_server(service, host=args.host, port=args.port)
 
 
 def run_explore_cmd(args) -> int:
@@ -294,6 +329,18 @@ def main(argv: list[str] | None = None) -> int:
                         help="with 'bench': annotate timing deltas against "
                              "an earlier BENCH_*.json snapshot (never fails "
                              "on a missing or old-schema baseline)")
+    parser.add_argument("--load", action="store_true",
+                        help="with 'bench': run the service load test "
+                             "(latency percentiles under concurrent "
+                             "clients) instead of the sweep bench")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="with 'serve': bind address")
+    parser.add_argument("--port", type=int, default=8642,
+                        help="with 'serve': TCP port (0 for ephemeral)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="with 'serve': boot on an ephemeral port, "
+                             "probe coalescing/overload/degradation over "
+                             "real sockets, and exit 0/1 (the CI smoke)")
     parser.add_argument("--model", action="store_true",
                         help="with 'validate': compare the analytical "
                              "model against the simulator on held-out "
@@ -320,7 +367,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', "
                              "'profile <oltp|dss>', 'stats <telemetry>', "
-                             "'bench', 'explore', or "
+                             "'bench', 'explore', 'serve', or "
                              "'model <fit|predict|validate>'")
     args = parser.parse_args(argv)
 
@@ -362,6 +409,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  bench      (perf-regression snapshot; see --quick)")
         print("  explore    (equal-area design-space exploration; "
               "see --quick/--budget)")
+        print("  serve      (async design-query service; "
+              "see --host/--port/--self-test)")
         print("  model <fit|predict|validate>   (analytical model)")
         return 0
     if targets[0] == "profile":
@@ -379,10 +428,17 @@ def main(argv: list[str] | None = None) -> int:
         return run_stats(source)
     if targets[0] == "bench":
         if len(targets) != 1:
-            print("usage: repro bench [--quick] [--bench-out PATH] "
-                  "[--compare PATH]", file=sys.stderr)
+            print("usage: repro bench [--quick] [--load] "
+                  "[--bench-out PATH] [--compare PATH]", file=sys.stderr)
             return 2
-        return run_bench_cmd(args.quick, args.bench_out, args.compare)
+        return run_bench_cmd(args.quick, args.bench_out, args.compare,
+                             load=args.load)
+    if targets[0] == "serve":
+        if len(targets) != 1:
+            print("usage: repro serve [--host HOST] [--port PORT] "
+                  "[--self-test]", file=sys.stderr)
+            return 2
+        return run_serve_cmd(args)
     if targets[0] == "explore":
         if len(targets) != 1:
             print("usage: repro explore [--quick] [--budget MM2]",

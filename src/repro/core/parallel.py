@@ -209,6 +209,57 @@ def execute(spec: RunSpec, scale: float,
     )
 
 
+def execute_with_retries(
+    spec: RunSpec,
+    scale: float,
+    default_cycles: float = DEFAULT_MEASURE_CYCLES,
+    *,
+    retries: int | None = None,
+    backoff: float | None = None,
+    index: int = 0,
+    pre_attempt=None,
+) -> MachineResult:
+    """Run one spec in the calling thread with bounded retries.
+
+    The interactive complement to :func:`run_specs`: a single
+    measurement executed where the caller stands (the serve tier runs
+    this inside its background executor), reusing the sweep layer's
+    retry/backoff semantics — attempt ``n`` sleeps ``backoff * 2**(n-1)``
+    before re-running, and the final failure propagates unchanged.
+
+    Args:
+        spec: The measurement.
+        scale: Study scale factor.
+        default_cycles: Window for specs without an override.
+        retries: Failed attempts to retry (None: ``REPRO_RETRIES``).
+        backoff: Base backoff seconds (None: ``REPRO_BACKOFF``).
+        index: Identity handed to ``pre_attempt`` (the serve tier passes
+            its simulation sequence number so fault plans can target a
+            specific request).
+        pre_attempt: Optional ``(index, attempt)`` hook run before each
+            attempt — the injection point for service-tier chaos
+            (:func:`repro.core.faults.maybe_stall` and friends).
+
+    There is no in-thread timeout: nothing can preempt a running
+    simulation from inside its own thread, so deadline enforcement
+    belongs to the caller (the serve tier races the executor future
+    against its timeout and charges the breaker on expiry).
+    """
+    retries = default_retries() if retries is None else max(0, int(retries))
+    backoff = default_backoff() if backoff is None else max(0.0, float(backoff))
+    attempt = 0
+    while True:
+        try:
+            if pre_attempt is not None:
+                pre_attempt(index, attempt)
+            return execute(spec, scale, default_cycles)
+        except Exception:
+            attempt += 1
+            if attempt > retries:
+                raise
+            time.sleep(backoff * (2 ** (attempt - 1)))
+
+
 def prebuild_workloads(specs, scale: float, indices=None) -> int:
     """Build each distinct workload bundle once, in the calling process.
 
@@ -588,6 +639,28 @@ def default_fail_fast() -> bool:
     """Whether sweeps abort on the first exhausted spec (``REPRO_FAIL_FAST``)."""
     return (os.environ.get("REPRO_FAIL_FAST", "").strip().lower()
             in ("1", "true", "yes", "on"))
+
+
+def default_cache_budget() -> int | None:
+    """LRU size budget for the result cache from ``REPRO_CACHE_BUDGET``.
+
+    Accepts a byte count, optionally suffixed ``k``/``m``/``g``
+    (``REPRO_CACHE_BUDGET=64m``).  Unset, unparsable, or non-positive
+    values disable eviction (None): a bad knob must never silently empty
+    a cache.
+    """
+    raw = os.environ.get("REPRO_CACHE_BUDGET", "").strip().lower()
+    if not raw:
+        return None
+    mult = 1
+    if raw[-1:] in ("k", "m", "g"):
+        mult = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * mult)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 # ---------------------------------------------------------------------- #
@@ -1132,18 +1205,31 @@ class ResultCache:
     temp file, so two processes racing on one key just write the same
     bytes twice.
 
+    With a ``budget_bytes`` limit (the ``REPRO_CACHE_BUDGET`` knob) the
+    cache is an LRU: every hit refreshes its entry's mtime, and a store
+    that pushes the on-disk total past the budget evicts oldest-mtime
+    entries until it fits again.  Eviction is unlink-based and therefore
+    safe against concurrent readers — a reader that already opened the
+    file keeps its data (POSIX), and one that loses the race simply
+    takes a miss and re-simulates; no path can observe a torn entry.
+
     Attributes:
-        hits/misses/stores/errors: Lifetime accounting for tests and
-            reporting (see :meth:`stats`).
+        hits/misses/stores/errors/evictions: Lifetime accounting for
+            tests and reporting (see :meth:`stats`).
     """
 
-    def __init__(self, root: str, salt: str = CODE_VERSION):
+    def __init__(self, root: str, salt: str = CODE_VERSION,
+                 budget_bytes: int | None = None):
         self.root = str(root)
         self.salt = salt
+        self.budget_bytes = (default_cache_budget() if budget_bytes is None
+                             else (int(budget_bytes)
+                                   if budget_bytes > 0 else None))
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.errors = 0
+        self.evictions = 0
 
     @classmethod
     def from_env(cls) -> "ResultCache | None":
@@ -1180,6 +1266,11 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        if self.budget_bytes is not None:
+            try:
+                os.utime(path)  # refresh LRU recency
+            except OSError:
+                pass
         return result
 
     def put(self, key: tuple, result: MachineResult,
@@ -1215,8 +1306,72 @@ class ResultCache:
             self.errors += 1
             return
         self.stores += 1
+        if self.budget_bytes is not None:
+            self._evict_to_budget(keep=path)
+
+    def _entries(self) -> list[tuple[float, int, str]]:
+        """Every stored entry as ``(mtime, size, path)`` (best-effort)."""
+        entries: list[tuple[float, int, str]] = []
+        try:
+            shards = os.scandir(self.root)
+        except OSError:
+            return entries
+        with shards:
+            for shard in shards:
+                if not shard.is_dir():
+                    continue
+                try:
+                    files = os.scandir(shard.path)
+                except OSError:
+                    continue
+                with files:
+                    for entry in files:
+                        if not entry.name.endswith(".pkl"):
+                            continue
+                        try:
+                            st = entry.stat()
+                        except OSError:
+                            continue  # raced with another evictor
+                        entries.append((st.st_mtime, st.st_size,
+                                        entry.path))
+        return entries
+
+    def _evict_to_budget(self, keep: str | None = None) -> int:
+        """Unlink oldest-mtime entries until the total fits the budget.
+
+        ``keep`` (the entry just stored) is exempt so a single store can
+        never evict its own payload even under a pathologically small
+        budget.  Returns the number of entries evicted.  Purely
+        best-effort: a stat/unlink that loses a race with a concurrent
+        evictor or reader is skipped, never raised.
+        """
+        if self.budget_bytes is None:
+            return 0
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.budget_bytes:
+            return 0
+        evicted = 0
+        for _, size, path in sorted(entries):
+            if total <= self.budget_bytes:
+                break
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    def disk_bytes(self) -> int:
+        """Total bytes currently stored (a scan; used by tests/stats)."""
+        return sum(size for _, size, _ in self._entries())
 
     def stats(self) -> dict:
-        """Lifetime accounting: hits, misses, stores, errors."""
+        """Lifetime accounting: hits, misses, stores, errors, evictions."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "errors": self.errors}
+                "stores": self.stores, "errors": self.errors,
+                "evictions": self.evictions}

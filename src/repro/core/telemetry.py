@@ -48,11 +48,13 @@ __all__ = [
     "NullRecorder",
     "TelemetryRecorder",
     "as_recorder",
+    "format_service_summary",
     "format_summary",
     "load_events",
     "percentile",
     "recorder_from_env",
     "summarize",
+    "summarize_service",
     "telemetry_path",
     "validate_event",
 ]
@@ -99,6 +101,19 @@ EVENT_SCHEMA: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "cache_hit": (("source",), ("index",)),
     "cache_miss": (("source",), ("index",)),
     "cache_store": (("source",), ("index",)),
+    # Design-service request log (DESIGN.md §12).  One svc_request /
+    # svc_answer pair per admitted request; svc_shed records a typed
+    # Overloaded rejection (the request never entered the system);
+    # svc_coalesce marks a request that attached to another request's
+    # in-flight computation; svc_sim_fail is one failed slow-tier
+    # attempt batch; svc_breaker records every breaker transition.
+    "svc_request": (("req", "query"), ("deadline_s",)),
+    "svc_answer": (("req", "query", "tier", "wall_s"),
+                   ("confidence", "degraded", "coalesced", "note")),
+    "svc_shed": (("req", "pending"), ("retry_after_s",)),
+    "svc_coalesce": (("req", "query", "leader"), ()),
+    "svc_sim_fail": (("seq", "kind", "message"), ()),
+    "svc_breaker": (("state",), ("failures",)),
 }
 
 #: ``spec_finished.source`` values.
@@ -375,6 +390,74 @@ def summarize(events: list[dict]) -> dict:
     summary["cache"] = cache_total
     summary["cache_by_source"] = cache_by_source
     return summary
+
+
+def summarize_service(events: list[dict]) -> dict:
+    """Fold a service request log into the ``repro stats`` serve section.
+
+    Returns a plain dict with request/answer counts (answers split by
+    tier), degraded/coalesced/shed totals, answer-latency percentiles
+    (p50/p95/p99 over ``svc_answer.wall_s``), slow-tier failure counts
+    by kind, and the breaker transition sequence.  All counts are zero
+    for a log without service events (the caller can test ``requests``
+    + ``shed`` to decide whether to print the section).
+    """
+    answers_by_tier: dict[str, int] = {}
+    walls: list[float] = []
+    sim_fail: dict[str, int] = {}
+    transitions: list[str] = []
+    counts = {"requests": 0, "answers": 0, "degraded": 0,
+              "coalesced": 0, "shed": 0}
+    for event in events:
+        ev = event.get("ev")
+        if ev == "svc_request":
+            counts["requests"] += 1
+        elif ev == "svc_answer":
+            counts["answers"] += 1
+            tier = str(event.get("tier", "?"))
+            answers_by_tier[tier] = answers_by_tier.get(tier, 0) + 1
+            walls.append(float(event.get("wall_s", 0.0)))
+            if event.get("degraded"):
+                counts["degraded"] += 1
+            if event.get("coalesced"):
+                counts["coalesced"] += 1
+        elif ev == "svc_shed":
+            counts["shed"] += 1
+        elif ev == "svc_sim_fail":
+            kind = str(event.get("kind", "?"))
+            sim_fail[kind] = sim_fail.get(kind, 0) + 1
+        elif ev == "svc_breaker":
+            transitions.append(str(event.get("state", "?")))
+    summary = dict(counts)
+    summary["answers_by_tier"] = answers_by_tier
+    summary["answer_wall_p50"] = round(percentile(walls, 50), 6)
+    summary["answer_wall_p95"] = round(percentile(walls, 95), 6)
+    summary["answer_wall_p99"] = round(percentile(walls, 99), 6)
+    summary["sim_failures"] = sim_fail
+    summary["breaker_transitions"] = transitions
+    return summary
+
+
+def format_service_summary(summary: dict) -> str:
+    """Render a :func:`summarize_service` dict for ``repro stats``."""
+    tiers = ", ".join(f"{tier} {n}" for tier, n in
+                      sorted(summary["answers_by_tier"].items())) or "none"
+    lines = [
+        f"requests:           {summary['requests']} "
+        f"(shed {summary['shed']})",
+        f"answers:            {summary['answers']} ({tiers}; "
+        f"degraded {summary['degraded']}, "
+        f"coalesced {summary['coalesced']})",
+        f"answer p50/p95/p99: {summary['answer_wall_p50']:.4f}s / "
+        f"{summary['answer_wall_p95']:.4f}s / "
+        f"{summary['answer_wall_p99']:.4f}s",
+    ]
+    if summary["sim_failures"]:
+        lines.append(f"sim failures:       {summary['sim_failures']}")
+    if summary["breaker_transitions"]:
+        lines.append("breaker:            "
+                     + " -> ".join(summary["breaker_transitions"]))
+    return "\n".join(lines)
 
 
 def format_summary(summary: dict) -> str:

@@ -1,0 +1,132 @@
+"""Circuit breaker for the service's simulation tier.
+
+The classic three-state machine (closed → open → half-open → closed),
+kept deliberately small and deterministic:
+
+- **closed** — requests flow; each slow-tier failure increments a
+  consecutive-failure counter, each success resets it.  Hitting
+  ``failure_threshold`` consecutive failures opens the circuit.
+- **open** — the slow tier is skipped outright (requests degrade to
+  model-tier answers); after ``cooldown_s`` the next permission check
+  transitions to half-open.
+- **half-open** — exactly one probe request is allowed through; its
+  success closes the circuit, its failure re-opens it (with a fresh
+  cooldown).
+
+Time comes from an injectable monotonic ``clock`` so the chaos suite
+steps through cooldowns without sleeping; transitions are reported
+through an optional ``on_transition`` callback (the service wires it to
+``svc_breaker`` telemetry events).  The breaker is synchronous state —
+the service mutates it only from the event-loop thread, so it needs no
+locking.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker", "CLOSED", "HALF_OPEN", "OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Consecutive slow-tier failures that open the circuit.
+DEFAULT_FAILURE_THRESHOLD = 3
+
+#: Seconds an open circuit waits before probing half-open recovery.
+DEFAULT_COOLDOWN_S = 5.0
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open recovery probes.
+
+    Attributes:
+        state: ``"closed"``, ``"open"``, or ``"half-open"``.
+        failures: Consecutive failures observed since the last success.
+        opens: Lifetime count of closed/half-open → open transitions.
+    """
+
+    def __init__(self, failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+                 cooldown_s: float = DEFAULT_COOLDOWN_S,
+                 clock=time.monotonic, on_transition=None):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, "
+                             f"got {failure_threshold}")
+        if cooldown_s <= 0:
+            raise ValueError(f"cooldown_s must be > 0, got {cooldown_s}")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.clock = clock
+        self.on_transition = on_transition
+        self.state = CLOSED
+        self.failures = 0
+        self.opens = 0
+        self._opened_at: float | None = None
+        self._probe_inflight = False
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        if state == OPEN:
+            self.opens += 1
+            self._opened_at = self.clock()
+        if self.on_transition is not None:
+            self.on_transition(state, self.failures)
+
+    # -- permission ---------------------------------------------------- #
+
+    def allow(self) -> bool:
+        """May a request use the slow tier right now?
+
+        An open breaker whose cooldown has elapsed flips to half-open
+        and admits exactly one probe; further requests are refused until
+        that probe reports back.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                self._transition(HALF_OPEN)
+            else:
+                return False
+        # Half-open: one probe at a time.
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
+    # -- outcomes ------------------------------------------------------ #
+
+    def record_success(self) -> None:
+        """A slow-tier request completed: reset failures; a successful
+        half-open probe closes the circuit."""
+        self.failures = 0
+        self._probe_inflight = False
+        if self.state != CLOSED:
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A slow-tier request failed (error or timeout): count it; at
+        the threshold — or on a failed half-open probe — open up."""
+        self.failures += 1
+        if self.state == HALF_OPEN:
+            self._probe_inflight = False
+            self._transition(OPEN)
+        elif self.state == CLOSED and self.failures >= self.failure_threshold:
+            self._transition(OPEN)
+
+    # -- introspection ------------------------------------------------- #
+
+    def snapshot(self) -> dict:
+        """JSON-ready breaker state for ``stats()``/health."""
+        doc = {"state": self.state, "failures": self.failures,
+               "opens": self.opens,
+               "failure_threshold": self.failure_threshold,
+               "cooldown_s": self.cooldown_s}
+        if self.state == OPEN and self._opened_at is not None:
+            doc["cooldown_remaining_s"] = round(
+                max(0.0, self.cooldown_s - (self.clock() - self._opened_at)),
+                6)
+        return doc

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.staged",
     "repro.model",
     "repro.explore",
+    "repro.serve",
 ]
 
 

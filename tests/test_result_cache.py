@@ -177,7 +177,7 @@ class TestPutRobustness:
     def test_stats_summary(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         assert cache.stats() == {"hits": 0, "misses": 0, "stores": 0,
-                                 "errors": 0}
+                                 "errors": 0, "evictions": 0}
         assert cache.get(("nothing",)) is None
         assert cache.stats()["misses"] == 1
 
@@ -269,3 +269,136 @@ class TestCorruptionUnderInjector:
         e3 = _experiment(tmp_path)
         assert e3.run_many(specs, jobs=1) == first
         assert e3.sim_runs == 0
+
+
+class TestBudgetParsing:
+    """``REPRO_CACHE_BUDGET`` → bytes; a bad knob never empties a cache."""
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("4096", 4096),
+        ("64k", 64 * 1024),
+        ("2m", 2 * 1024 ** 2),
+        ("1g", 1024 ** 3),
+        ("1.5k", 1536),
+        (" 8K ", 8 * 1024),
+        ("junk", None),
+        ("0", None),
+        ("-5", None),
+        ("", None),
+    ])
+    def test_parse(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", raw)
+        assert parallel.default_cache_budget() == expected
+
+    def test_unset_means_unlimited(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BUDGET", raising=False)
+        assert parallel.default_cache_budget() is None
+
+    def test_cache_reads_env_by_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", "2k")
+        assert ResultCache(str(tmp_path)).budget_bytes == 2048
+        monkeypatch.delenv("REPRO_CACHE_BUDGET")
+        assert ResultCache(str(tmp_path)).budget_bytes is None
+        # An explicit argument beats the environment.
+        assert ResultCache(str(tmp_path),
+                           budget_bytes=512).budget_bytes == 512
+
+
+@pytest.mark.slow
+class TestLRUEviction:
+    """The size-budgeted cache is an LRU over entry mtimes."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return execute(RunSpec(_config(), "dss"), SCALE, CYCLES)
+
+    def _key(self, i: int) -> tuple:
+        return ("budget-test", i)
+
+    def _fill(self, cache, result, n: int) -> list:
+        """Store n entries under distinct keys with ascending mtimes."""
+        paths = []
+        for i in range(n):
+            cache.put(self._key(i), result)
+            path = cache.path_for(self._key(i))
+            os.utime(path, (1000.0 * (i + 1), 1000.0 * (i + 1)))
+            paths.append(path)
+        return paths
+
+    def _entry_size(self, tmp_path, result) -> int:
+        probe = ResultCache(str(tmp_path / "probe"))
+        probe.put(("probe",), result)
+        return probe.disk_bytes()
+
+    def test_store_evicts_oldest_until_within_budget(self, tmp_path,
+                                                     result):
+        size = self._entry_size(tmp_path, result)
+        cache = ResultCache(str(tmp_path / "c"),
+                            budget_bytes=int(size * 2.5))
+        self._fill(cache, result, 2)
+        assert cache.evictions == 0
+        cache.put(self._key(2), result)  # 3 entries > budget: evict oldest
+        assert cache.evictions == 1
+        assert cache.disk_bytes() <= cache.budget_bytes
+        assert cache.get(self._key(0)) is None          # oldest: gone
+        assert cache.get(self._key(1)) is not None
+        assert cache.get(self._key(2)) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_hit_refreshes_recency(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        cache = ResultCache(str(tmp_path / "c"),
+                            budget_bytes=int(size * 2.5))
+        self._fill(cache, result, 2)
+        # Touch entry 0: its mtime refreshes to now, making entry 1 the
+        # LRU victim when the next store breaches the budget.
+        assert cache.get(self._key(0)) is not None
+        cache.put(self._key(2), result)
+        assert cache.get(self._key(0)) is not None
+        assert cache.get(self._key(1)) is None
+        assert cache.get(self._key(2)) is not None
+
+    def test_a_store_never_evicts_its_own_payload(self, tmp_path, result):
+        size = self._entry_size(tmp_path, result)
+        cache = ResultCache(str(tmp_path / "c"),
+                            budget_bytes=max(1, size // 2))
+        cache.put(self._key(0), result)
+        assert cache.get(self._key(0)) is not None  # kept despite budget
+        cache.put(self._key(1), result)
+        # The older entry paid for the new one.
+        assert cache.get(self._key(0)) is None
+        assert cache.get(self._key(1)) is not None
+
+    def test_eviction_is_safe_against_concurrent_readers(self, tmp_path,
+                                                         result):
+        size = self._entry_size(tmp_path, result)
+        cache = ResultCache(str(tmp_path / "c"),
+                            budget_bytes=int(size * 1.5))
+        self._fill(cache, result, 1)
+        victim = cache.path_for(self._key(0))
+        with open(victim, "rb") as fh:
+            cache.put(self._key(1), result)  # evicts the open victim
+            assert cache.evictions == 1
+            # POSIX: the already-open handle still reads the full entry.
+            recovered = pickle.load(fh)
+            assert recovered == result
+        # A late reader takes a clean miss, never an error.
+        assert cache.get(self._key(0)) is None
+        assert cache.errors == 0
+
+    def test_no_budget_means_no_eviction(self, tmp_path, result,
+                                         monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_BUDGET", raising=False)
+        cache = ResultCache(str(tmp_path / "c"))
+        self._fill(cache, result, 4)
+        assert cache.evictions == 0
+        assert len(_cache_files(tmp_path / "c")) == 4
+
+    def test_experiment_surfaces_eviction_stats(self, tmp_path, result,
+                                                monkeypatch):
+        size = self._entry_size(tmp_path, result)
+        monkeypatch.setenv("REPRO_CACHE_BUDGET", str(int(size * 1.5)))
+        exp = _experiment(tmp_path / "c")
+        exp.cache.put(self._key(0), result)
+        exp.cache.put(self._key(1), result)
+        assert exp.cache_stats()["evictions"] == 1

@@ -179,7 +179,9 @@ class TestEventSchema:
             "sweep_start", "sweep_end", "checkpoint_resume", "spec_queued",
             "spec_started", "spec_exec", "spec_retry", "spec_finished",
             "spec_failed", "shm_create", "shm_attach", "shm_cleanup",
-            "cache_hit", "cache_miss", "cache_store"}
+            "cache_hit", "cache_miss", "cache_store",
+            "svc_request", "svc_answer", "svc_shed", "svc_coalesce",
+            "svc_sim_fail", "svc_breaker"}
 
 
 # ---------------------------------------------------------------------- #
