@@ -1,0 +1,36 @@
+"""Contention study: attribution across theta for both CC camps."""
+
+
+from conftest import emit
+
+from repro.core.figures import contention
+from repro.core.sweeps import contention_sweep
+
+
+def test_contention_sweep(benchmark, exp):
+    # Pin a 4-warehouse hotspot: contention is a clients-per-warehouse
+    # effect, and the default scale has enough warehouses for every
+    # client to get a private home (zero conflicts, nothing to measure).
+    kwargs = {"thetas": (0.0, 0.9), "hot_warehouses": 4}
+    text = benchmark.pedantic(
+        contention, args=(exp,), kwargs=kwargs, rounds=1, iterations=1)
+    emit("Contention sweep — lock-wait vs stalls per CC mode", text)
+
+    points = contention_sweep(exp, thetas=(0.0, 0.9), hot_warehouses=4)
+    by_mode = {}
+    for p in points:
+        by_mode.setdefault(p.cc_mode, {})[p.theta] = p
+
+    # Shape: skew raises 2PL's conflict footprint; the partitioned camp
+    # never aborts, and lock-wait shows up in each point's breakdown.
+    two_pl = by_mode["2pl"]
+    assert two_pl[0.9].contention.abort_rate > two_pl[0.0].contention.abort_rate
+    assert (two_pl[0.9].contention.lock_wait_share
+            > two_pl[0.0].contention.lock_wait_share)
+    for p in by_mode["partitioned"].values():
+        assert p.contention.aborts == 0
+    for p in points:
+        view = p.result.breakdown.contention_view()
+        share = min(p.contention.lock_wait_share + p.contention.wasted_share,
+                    0.95)
+        assert abs(view["lock_wait"] - share) < 1e-9

@@ -141,6 +141,43 @@ def run_stats(target: str) -> int:
               file=sys.stderr)
         return 2
     print(telemetry.format_summary(telemetry.summarize(events)))
+    contention = telemetry.summarize_contention(events)
+    if contention["points"]:
+        print()
+        print(telemetry.format_contention_summary(contention))
+    return 0
+
+
+def run_sweep_cmd(args) -> int:
+    """The ``repro sweep`` target: the contention study.
+
+    Runs the (theta x cc_mode) grid — skewed traces through the
+    simulator plus the logical CC executor per point — and prints the
+    attribution tables (see ``repro.core.figures.contention``).
+    """
+    thetas = tuple(args.skew_theta) if args.skew_theta else None
+    cc_modes = (("2pl", "partitioned") if args.cc_mode == "both"
+                else (args.cc_mode,))
+    exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
+                     use_cache=not args.no_cache)
+    start = time.time()
+    try:
+        kwargs = {"cc_modes": cc_modes,
+                  "hot_warehouses": args.hot_warehouses,
+                  "cross_rate": args.cross_rate}
+        if thetas is not None:
+            kwargs["thetas"] = thetas
+        text = figures.contention(exp, **kwargs)
+    except SweepError as err:
+        print(f"sweep: failed — {err}", file=sys.stderr)
+        return 1
+    except ValueError as err:
+        print(f"sweep: invalid parameters — {err}", file=sys.stderr)
+        return 2
+    print(_banner(f"contention sweep  (scale {exp.scale:g}, "
+                  f"{time.time() - start:.1f}s)"))
+    print(text)
+    _print_cache_stats(exp)
     return 0
 
 
@@ -364,10 +401,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="with 'model predict': nominal L2 MB")
     parser.add_argument("--banks", type=int, default=4,
                         help="with 'model predict': L2 bank count")
+    parser.add_argument("--skew-theta", type=float, action="append",
+                        metavar="THETA", default=None,
+                        help="with 'sweep': Zipfian exponent for the "
+                             "contention grid; repeat for several points "
+                             "(default: 0, 0.6, 0.9, 1.2)")
+    parser.add_argument("--hot-warehouses", type=int, default=None,
+                        help="with 'sweep': restrict client homes to the "
+                             "first N warehouses (hotspot knob)")
+    parser.add_argument("--cross-rate", type=float, default=None,
+                        help="with 'sweep': cross-warehouse probability "
+                             "override (default: TPC-C's 1%%/15%%)")
+    parser.add_argument("--cc-mode", choices=["2pl", "partitioned", "both"],
+                        default="both",
+                        help="with 'sweep': concurrency-control mode(s) "
+                             "to run (default: both)")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', "
                              "'profile <oltp|dss>', 'stats <telemetry>', "
-                             "'bench', 'explore', 'serve', or "
+                             "'bench', 'explore', 'serve', 'sweep', or "
                              "'model <fit|predict|validate>'")
     args = parser.parse_args(argv)
 
@@ -411,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
               "see --quick/--budget)")
         print("  serve      (async design-query service; "
               "see --host/--port/--self-test)")
+        print("  sweep      (contention study; see --skew-theta/"
+              "--hot-warehouses/--cross-rate/--cc-mode)")
         print("  model <fit|predict|validate>   (analytical model)")
         return 0
     if targets[0] == "profile":
@@ -439,6 +493,13 @@ def main(argv: list[str] | None = None) -> int:
                   "[--self-test]", file=sys.stderr)
             return 2
         return run_serve_cmd(args)
+    if targets[0] == "sweep":
+        if len(targets) != 1:
+            print("usage: repro sweep [--skew-theta THETA ...] "
+                  "[--hot-warehouses N] [--cross-rate P] "
+                  "[--cc-mode 2pl|partitioned|both]", file=sys.stderr)
+            return 2
+        return run_sweep_cmd(args)
     if targets[0] == "explore":
         if len(targets) != 1:
             print("usage: repro explore [--quick] [--budget MM2]",

@@ -67,6 +67,7 @@ from ..simulator.machine import (
 from ..simulator.profiling import NULL_PROBE, RunProbe
 from ..simulator.trace import CodeFootprint, Trace, Workload
 from ..workloads import driver as _driver
+from ..workloads.contention import SkewSpec, as_skew
 from ..workloads.driver import workload_for
 from . import faults
 from .telemetry import NULL_RECORDER, as_recorder, worker_recorder
@@ -151,6 +152,11 @@ class RunSpec:
         n_clients: Client-count override (Fig. 2 sweeps); None uses the
             regime's paper default.
         measure_cycles: Window override; None uses the experiment default.
+        skew: Optional contention knobs
+            (:class:`repro.workloads.contention.SkewSpec`); None keeps
+            the uniform benchmark distributions.  OLTP only.
+        cc_mode: Concurrency-control mode (``"2pl"`` or
+            ``"partitioned"``).  OLTP only.
     """
 
     config: MachineConfig
@@ -158,6 +164,8 @@ class RunSpec:
     regime: str = "saturated"
     n_clients: int | None = None
     measure_cycles: float | None = None
+    skew: SkewSpec | None = None
+    cc_mode: str = "2pl"
 
     def __post_init__(self):
         if self.kind not in WARM_FRACTIONS:
@@ -168,6 +176,22 @@ class RunSpec:
             raise ValueError(
                 f"unknown regime {self.regime!r}: expected one of "
                 f"{list(REGIMES)}")
+        # Eager contention validation: bad knobs fail here, not minutes
+        # later inside a pool worker.  as_skew re-runs SkewSpec's range
+        # checks and rejects non-SkewSpec values.
+        skew = as_skew(self.skew)
+        if self.cc_mode not in ("2pl", "partitioned"):
+            raise ValueError(
+                f"unknown cc_mode {self.cc_mode!r}: expected '2pl' or "
+                "'partitioned'")
+        if (skew.active or self.cc_mode != "2pl") and self.kind != "oltp":
+            raise ValueError(
+                "skew/cc_mode apply to kind='oltp' only")
+
+    @property
+    def contended(self) -> bool:
+        """True when any contention knob departs from the default."""
+        return as_skew(self.skew).active or self.cc_mode != "2pl"
 
     @property
     def mode(self) -> str:
@@ -179,10 +203,18 @@ class RunSpec:
                 else self.measure_cycles)
 
     def key(self, scale: float, default_cycles: float) -> tuple:
-        """The memoization/cache identity of this measurement."""
-        return (config_key(self.config), self.kind, self.regime,
-                self.n_clients, self.mode,
-                self.resolved_cycles(default_cycles), scale)
+        """The memoization/cache identity of this measurement.
+
+        Default (uniform, 2PL) specs keep the exact pre-contention key
+        shape so existing on-disk cache entries still hit; opted-in
+        specs append a contention suffix.
+        """
+        key = (config_key(self.config), self.kind, self.regime,
+               self.n_clients, self.mode,
+               self.resolved_cycles(default_cycles), scale)
+        if self.contended:
+            key += (("contention", as_skew(self.skew).key(), self.cc_mode),)
+        return key
 
 
 def execute(spec: RunSpec, scale: float,
@@ -198,7 +230,8 @@ def execute(spec: RunSpec, scale: float,
     so results are identical with or without one.
     """
     workload = workload_for(spec.kind, spec.regime, scale,
-                            n_clients=spec.n_clients)
+                            n_clients=spec.n_clients, skew=spec.skew,
+                            cc_mode=spec.cc_mode)
     machine = Machine(spec.config)
     return machine.run(
         workload,
@@ -282,11 +315,14 @@ def prebuild_workloads(specs, scale: float, indices=None) -> int:
     it = specs if indices is None else (specs[i] for i in indices)
     for spec in it:
         coord = (spec.kind, spec.regime, spec.n_clients)
+        if spec.contended:
+            coord += (as_skew(spec.skew).key(), spec.cc_mode)
         if coord in seen:
             continue
         seen.add(coord)
         workload_for(spec.kind, spec.regime, scale,
-                     n_clients=spec.n_clients)
+                     n_clients=spec.n_clients, skew=spec.skew,
+                     cc_mode=spec.cc_mode)
     return len(seen)
 
 
@@ -559,10 +595,17 @@ def _export_arena(specs, scale: float, indices, telem,
     bundles: dict[tuple, Workload] = {}
     for i in indices:
         spec = specs[i]
+        if spec.contended:
+            # The arena provider serves bundles by the default
+            # (kind, regime, n_clients) coordinate only; contention
+            # bundles fall through to the builders in each worker.
+            continue
         coord = (spec.kind, spec.regime, spec.n_clients)
         if coord not in bundles:
             bundles[coord] = workload_for(spec.kind, spec.regime, scale,
                                           n_clients=spec.n_clients)
+    if not bundles:
+        return None
     arena = SharedBundleArena.create(bundles, scale)
     if arena is not None:
         telem.emit("shm_create", sweep=sweep, segment=arena.segment,

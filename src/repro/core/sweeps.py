@@ -27,6 +27,11 @@ from dataclasses import dataclass
 from ..simulator import cacti
 from ..simulator.configs import FIG6_L2_SIZES_MB, fc_cmp
 from ..simulator.machine import MachineResult
+from ..workloads.contention import (
+    ContentionResult,
+    SkewSpec,
+    simulate_contention,
+)
 from .experiment import Experiment
 from .parallel import RunSpec
 
@@ -132,6 +137,117 @@ def client_count_sweep(
     )
     return [SweepPoint(x=float(n), result=result)
             for n, result in zip(client_counts, results)]
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """One contention-sweep sample under one CC mode.
+
+    Attributes:
+        theta: Zipfian exponent the point ran at.
+        cc_mode: ``"2pl"`` or ``"partitioned"``.
+        result: The simulator measurement over the skewed traces, with
+            ``breakdown.lock_wait`` filled in from the executor (see
+            :func:`contention_sweep`).
+        contention: The logical executor's accounting (aborts, lock-wait
+            and wasted-work shares, the committed schedule).
+    """
+
+    theta: float
+    cc_mode: str
+    result: MachineResult
+    contention: ContentionResult
+
+
+#: Default Zipf exponents for the contention sweep: uniform, moderate
+#: (YCSB's "zipfian" neighborhood), and pathological.
+CONTENTION_THETAS = (0.0, 0.6, 0.9, 1.2)
+
+#: Concurrency-control overhead is capped at this share of busy time
+#: when folding executor accounting into the breakdown (a share of 1.0
+#: would divide by zero; real systems saturate below it).
+_MAX_CC_SHARE = 0.95
+
+
+def contention_sweep(
+    exp: Experiment,
+    thetas: tuple[float, ...] = CONTENTION_THETAS,
+    cc_modes: tuple[str, ...] = ("2pl", "partitioned"),
+    hot_warehouses: int | None = None,
+    cross_rate: float | None = None,
+    n_cores: int = 4,
+    l2_nominal_mb: float = 16.0,
+    n_clients: int | None = None,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool | None = None,
+    checkpoint=None,
+    telemetry=None,
+) -> list[ContentionPoint]:
+    """Where time goes as contention rises, per CC camp.
+
+    For every (theta, cc_mode) pair this runs two measurements and
+    composes them:
+
+    1. The simulator over skewed traces — real data-stall and coherence
+       changes from the hotter reference stream (trace generation runs
+       clients serially, so lock conflicts cannot appear here).
+    2. The logical interleaved executor
+       (:func:`repro.workloads.contention.simulate_contention`) — the
+       same seeded transaction stream executed with genuine per-op
+       interleaving under the chosen CC mode, yielding abort counts and
+       lock-wait/wasted-work shares.
+
+    The executor's concurrency-control share ``s`` (lock-wait plus
+    aborted-attempt rework) is folded into each point's breakdown as
+    ``lock_wait = busy * s / (1 - s)``, so ``lock_wait / busy`` equals
+    ``s`` afterwards and the existing components keep their relative
+    proportions.  Results recalled from the cache are copied before the
+    fold — cached entries stay exactly as the simulator wrote them.
+    """
+    points = []
+    specs = []
+    for cc_mode in cc_modes:
+        for theta in thetas:
+            skew = SkewSpec(theta=theta, hot_warehouses=hot_warehouses,
+                            cross_rate=cross_rate)
+            specs.append((theta, cc_mode, skew, RunSpec(
+                fc_cmp(n_cores=n_cores, l2_nominal_mb=l2_nominal_mb,
+                       scale=exp.scale),
+                "oltp", "saturated", n_clients=n_clients,
+                skew=skew, cc_mode=cc_mode)))
+    results = exp.run_many(
+        [spec for _, _, _, spec in specs], jobs=jobs, timeout=timeout,
+        retries=retries, fail_fast=fail_fast, checkpoint=checkpoint,
+        telemetry=telemetry)
+    for (theta, cc_mode, skew, _), result in zip(specs, results):
+        contention = simulate_contention(
+            scale=exp.scale, skew=skew, cc_mode=cc_mode)
+        share = min(contention.lock_wait_share + contention.wasted_share,
+                    _MAX_CC_SHARE)
+        # Copy before mutating: the memo/cache own the original.
+        attributed = MachineResult.from_dict(result.to_dict())
+        attributed.breakdown.lock_wait = (
+            attributed.breakdown.busy * share / (1.0 - share))
+        attributed.extras["contention"] = {
+            "theta": theta,
+            "cc_mode": cc_mode,
+            "abort_rate": contention.abort_rate,
+            "lock_wait_share": contention.lock_wait_share,
+            "wasted_share": contention.wasted_share,
+        }
+        exp.telemetry.emit(
+            "contention_point", theta=theta, cc_mode=cc_mode,
+            abort_rate=round(contention.abort_rate, 6),
+            lock_wait_share=round(contention.lock_wait_share, 6),
+            wasted_share=round(contention.wasted_share, 6),
+            commits=contention.commits, aborts=contention.aborts,
+            ipc=round(attributed.ipc, 6))
+        points.append(ContentionPoint(theta=theta, cc_mode=cc_mode,
+                                      result=attributed,
+                                      contention=contention))
+    return points
 
 
 def latency_for_size(size_mb: float, const_latency: int | None) -> int:

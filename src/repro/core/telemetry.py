@@ -48,12 +48,14 @@ __all__ = [
     "NullRecorder",
     "TelemetryRecorder",
     "as_recorder",
+    "format_contention_summary",
     "format_service_summary",
     "format_summary",
     "load_events",
     "percentile",
     "recorder_from_env",
     "summarize",
+    "summarize_contention",
     "summarize_service",
     "telemetry_path",
     "validate_event",
@@ -114,6 +116,13 @@ EVENT_SCHEMA: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "svc_coalesce": (("req", "query", "leader"), ()),
     "svc_sim_fail": (("seq", "kind", "message"), ()),
     "svc_breaker": (("state",), ("failures",)),
+    # Contention sweep: one event per (theta, cc_mode) point — the
+    # executor's accounting plus the simulator's attributed lock-wait
+    # share, so ``repro stats`` can tabulate where time went as skew
+    # rose without re-running anything.
+    "contention_point": (("theta", "cc_mode", "abort_rate",
+                          "lock_wait_share"),
+                         ("wasted_share", "commits", "aborts", "ipc")),
 }
 
 #: ``spec_finished.source`` values.
@@ -436,6 +445,43 @@ def summarize_service(events: list[dict]) -> dict:
     summary["sim_failures"] = sim_fail
     summary["breaker_transitions"] = transitions
     return summary
+
+
+def summarize_contention(events: list[dict]) -> dict:
+    """Fold ``contention_point`` events into the stats contention section.
+
+    Returns ``{"points": [...]}`` with one row per event, ordered by
+    (cc_mode, theta) — empty for a log without contention events.
+    """
+    points = []
+    for event in events:
+        if event.get("ev") != "contention_point":
+            continue
+        points.append({
+            "theta": float(event.get("theta", 0.0)),
+            "cc_mode": str(event.get("cc_mode", "?")),
+            "abort_rate": float(event.get("abort_rate", 0.0)),
+            "lock_wait_share": float(event.get("lock_wait_share", 0.0)),
+            "wasted_share": float(event.get("wasted_share", 0.0)),
+            "ipc": event.get("ipc"),
+        })
+    points.sort(key=lambda p: (p["cc_mode"], p["theta"]))
+    return {"points": points}
+
+
+def format_contention_summary(summary: dict) -> str:
+    """Render a :func:`summarize_contention` dict for ``repro stats``."""
+    from .reporting import format_table
+
+    rows = [
+        [p["cc_mode"], f"{p['theta']:g}", f"{p['abort_rate']:.3f}",
+         f"{p['lock_wait_share']:.3f}", f"{p['wasted_share']:.3f}",
+         "-" if p["ipc"] is None else f"{p['ipc']:.3f}"]
+        for p in summary["points"]
+    ]
+    return format_table(
+        ["cc mode", "theta", "abort rate", "lock-wait", "wasted", "ipc"],
+        rows)
 
 
 def format_service_summary(summary: dict) -> str:

@@ -16,18 +16,22 @@ from .page import PageFormat, PageLayout
 from .schema import Schema
 from .tracer import CodeRegistry, MemoryTracer, NullTracer
 from .txn import (
+    CC_MODES,
     LockConflict,
     LockManager,
     LockMode,
     LogManager,
+    PartitionLockManager,
     Transaction,
     TransactionManager,
+    validate_cc_mode,
 )
 from .types import Column, ColumnType, char, date, float64, int32, int64
 
 __all__ = [
     "BTreeIndex",
     "BufferPool",
+    "CC_MODES",
     "Catalog",
     "CodeRegistry",
     "Column",
@@ -39,6 +43,7 @@ __all__ = [
     "LockManager",
     "LockMode",
     "LogManager",
+    "PartitionLockManager",
     "MemoryTracer",
     "NullTracer",
     "PageFormat",
@@ -52,4 +57,5 @@ __all__ = [
     "float64",
     "int32",
     "int64",
+    "validate_cc_mode",
 ]

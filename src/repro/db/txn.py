@@ -31,6 +31,23 @@ _LOCK_BUCKET_BYTES = 32
 _LOCK_BUCKETS = 1024
 #: Log buffer bytes (circular).
 _LOG_BUFFER_BYTES = 64 * 1024
+#: Bytes per partition-ownership slot (one cache line).
+_PARTITION_SLOT_BYTES = 64
+
+#: Supported concurrency-control modes.  ``"2pl"`` is the lock-based
+#: strict two-phase locking above; ``"partitioned"`` is
+#: partitioned/deterministic ordering — each transaction claims whole
+#: partitions (warehouses) in a deterministic global order instead of
+#: row locks, the Calvin/H-Store family.
+CC_MODES = ("2pl", "partitioned")
+
+
+def validate_cc_mode(cc_mode: str) -> str:
+    """Return ``cc_mode`` or raise ``ValueError`` for unknown modes."""
+    if cc_mode not in CC_MODES:
+        raise ValueError(
+            f"unknown cc_mode {cc_mode!r}; expected one of {CC_MODES}")
+    return cc_mode
 
 
 class LockMode(enum.Enum):
@@ -142,6 +159,101 @@ class LockManager:
 
     def locks_held(self, txn_id: int) -> int:
         """Number of locks held by ``txn_id``."""
+        return len(self._held.get(txn_id, ()))
+
+
+class PartitionLockManager:
+    """Per-partition single-owner locks for the partitioned CC mode.
+
+    Instead of hashing row names into a shared 1024-bucket table, a
+    transaction claims whole partitions (warehouses): one exclusive
+    ownership slot per partition, one cache line each.  Clients homed on
+    different warehouses therefore write *disjoint* lines — the
+    coherence ping-pong of the shared lock table disappears from the
+    trace, which is precisely the partitioned camp's bet.  Cross-
+    partition transactions claim every partition they touch, in
+    ascending partition order (deterministic, deadlock-free).
+    """
+
+    def __init__(self, space: AddressSpace, n_partitions: int):
+        if n_partitions < 1:
+            raise ValueError("PartitionLockManager needs n_partitions >= 1")
+        self.n_partitions = n_partitions
+        self._owner: dict[int, int] = {}
+        self._held: dict[int, dict] = {}  # txn -> partitions, claim order
+        self._region = space.alloc("lockmgr:partitions",
+                                   n_partitions * _PARTITION_SLOT_BYTES)
+        self.acquires = 0
+        self.conflicts = 0
+
+    def _slot_addr(self, partition: int) -> int:
+        return self._region.base + partition * _PARTITION_SLOT_BYTES
+
+    def acquire(self, txn_id: int, partition: int,
+                tracer: NullTracer = NullTracer()) -> None:
+        """Claim ``partition`` exclusively for ``txn_id`` (re-entrant).
+
+        Raises:
+            LockConflict: when another transaction owns the partition.
+        """
+        if not 0 <= partition < self.n_partitions:
+            raise ValueError(
+                f"partition {partition} out of range 0..{self.n_partitions - 1}")
+        tracer.enter("txn.lock")
+        tracer.compute(costs.LOCK_ACQUIRE)
+        tracer.data(self._slot_addr(partition), write=True, dependent=True)
+        self.acquires += 1
+        owner = self._owner.get(partition)
+        if owner is None:
+            self._owner[partition] = txn_id
+            self._held.setdefault(txn_id, {})[partition] = None
+            return
+        if owner == txn_id:
+            return
+        self.conflicts += 1
+        raise LockConflict(
+            f"txn {txn_id}: partition {partition} owned by {owner}")
+
+    def acquire_all(self, txn_id: int, partitions,
+                    tracer: NullTracer = NullTracer()) -> None:
+        """Claim a partition set in ascending order (deterministic).
+
+        All-or-nothing: a conflict partway through rolls back the
+        partitions claimed by *this call* (ones the transaction already
+        held stay held) before re-raising, so a blocked transaction
+        never pins part of its set while it retries.
+        """
+        claimed = []
+        for partition in sorted(partitions):
+            fresh = self._owner.get(partition) is None
+            try:
+                self.acquire(txn_id, partition, tracer)
+            except LockConflict:
+                for p in claimed:
+                    del self._owner[p]
+                    del self._held[txn_id][p]
+                raise
+            if fresh:
+                claimed.append(partition)
+
+    def release_all(self, txn_id: int,
+                    tracer: NullTracer = NullTracer()) -> int:
+        """Release every partition of ``txn_id``; returns the count."""
+        partitions = self._held.pop(txn_id, {})
+        tracer.enter("txn.lock")
+        for partition in partitions:
+            tracer.compute(costs.LOCK_RELEASE)
+            tracer.data(self._slot_addr(partition), write=True)
+            if self._owner.get(partition) == txn_id:
+                del self._owner[partition]
+        return len(partitions)
+
+    def owner(self, partition: int) -> int | None:
+        """Transaction owning ``partition``, or None."""
+        return self._owner.get(partition)
+
+    def partitions_held(self, txn_id: int) -> int:
+        """Number of partitions owned by ``txn_id``."""
         return len(self._held.get(txn_id, ()))
 
 

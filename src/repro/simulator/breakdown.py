@@ -32,6 +32,12 @@ class Breakdown:
         other: Branch mispredictions and remaining pipeline stalls.
         idle: Cycles with no software thread to run (unsaturated regimes;
             excluded from busy-time percentages).
+        lock_wait: Cycles stalled on concurrency control (blocked lock
+            requests and aborted-attempt rework).  Zero for every default
+            workload — trace replay runs clients serially, so the
+            simulator itself never blocks on a lock; contention sweeps
+            fill it in from the logical executor's accounting
+            (:func:`repro.core.sweeps.contention_sweep`).
     """
 
     computation: float = 0.0
@@ -43,6 +49,18 @@ class Breakdown:
     d_coh: float = 0.0
     other: float = 0.0
     idle: float = 0.0
+    lock_wait: float = 0.0
+
+    def __setstate__(self, state):
+        """Restore from pickles written before newer fields existed.
+
+        The result cache stores pickled ``MachineResult``s salted only by
+        ``CODE_VERSION``; adding a field must not make old entries
+        unreadable (they are still semantically valid — the new field's
+        default is exactly what those runs measured).
+        """
+        for f in fields(self):
+            setattr(self, f.name, state.get(f.name, f.default))
 
     # ------------------------------------------------------------------ #
     # Derived components                                                  #
@@ -75,6 +93,7 @@ class Breakdown:
         """Total accounted execution cycles, excluding idle."""
         return (
             self.computation + self.i_stalls + self.d_stalls + self.other
+            + self.lock_wait
         )
 
     @property
@@ -106,6 +125,23 @@ class Breakdown:
             "i_stalls": self.fraction(self.i_stalls),
             "l2_hit": self.fraction(self.d_onchip),
             "other_d": self.fraction(self.d_offchip),
+            "other": self.fraction(self.other),
+        }
+
+    def contention_view(self) -> dict[str, float]:
+        """Contention-attribution grouping, as fractions of busy time.
+
+        Where time goes as conflicts rise: lock-wait (concurrency
+        control) vs data stalls (capacity/cold misses) vs coherence
+        (sharing transfers, the d_coh + L1-to-L1 component) — the
+        question the high-contention study asks of each CC camp.
+        """
+        return {
+            "computation": self.fraction(self.computation),
+            "i_stalls": self.fraction(self.i_stalls),
+            "lock_wait": self.fraction(self.lock_wait),
+            "d_stalls": self.fraction(self.d_l2 + self.d_mem),
+            "coherence": self.fraction(self.d_coh + self.d_l1x),
             "other": self.fraction(self.other),
         }
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import functools
 
+from ..db.txn import validate_cc_mode
 from ..simulator.trace import Workload
 from . import tracestore
+from .contention import SkewSpec, as_skew
 from .tpcc import TpccDatabase
 from .tpch import TpchDatabase
 
@@ -78,6 +80,29 @@ def clear_workload_caches() -> None:
     _BUILT.clear()
 
 
+def _contention_tag(skew: SkewSpec, cc_mode: str) -> str:
+    """Workload-name suffix for non-default contention knobs."""
+    parts = []
+    if skew.active:
+        parts.append(skew.describe())
+    if cc_mode != "2pl":
+        parts.append(cc_mode)
+    return "-".join(parts)
+
+
+def _contention_params(params: dict, skew: SkewSpec, cc_mode: str) -> dict:
+    """Mix contention knobs into a store key — only when non-default.
+
+    Default builds must produce byte-for-byte the keys they always did,
+    so existing trace-store entries (and CI cache restores) keep
+    hitting; opted-in builds get a distinct key.
+    """
+    if skew.active or cc_mode != "2pl":
+        params = dict(params)
+        params["contention"] = (skew.key(), cc_mode)
+    return params
+
+
 def _stored(builder: str, params: dict, build) -> Workload:
     """Consult the cross-process trace store before running ``build``.
 
@@ -99,35 +124,53 @@ def _stored(builder: str, params: dict, build) -> Workload:
 @functools.lru_cache(maxsize=16)
 def oltp_workload(scale: float = 1.0, n_clients: int = SATURATED_OLTP_CLIENTS,
                   txns_per_client: int = OLTP_TXNS_PER_CLIENT,
-                  seed: int = 42) -> Workload:
+                  seed: int = 42, skew: SkewSpec | None = None,
+                  cc_mode: str = "2pl") -> Workload:
     """Saturated OLTP bundle: ``n_clients`` TPC-C client traces."""
+    skew_spec = as_skew(skew)
+    validate_cc_mode(cc_mode)
+    tag = _contention_tag(skew_spec, cc_mode)
+
     def build() -> Workload:
-        tpcc = TpccDatabase(scale=scale, seed=seed)
+        tpcc = TpccDatabase(scale=scale, seed=seed, skew=skew_spec,
+                            cc_mode=cc_mode)
         traces = [
             tpcc.run_client(c, txns_per_client) for c in range(n_clients)
         ]
+        metadata = {"scale": scale, "txns_per_client": txns_per_client}
+        if tag:
+            metadata["contention"] = tag
         return Workload(
-            name=f"tpcc-sat-{n_clients}c",
+            name=f"tpcc-sat-{n_clients}c" + (f"@{tag}" if tag else ""),
             traces=traces,
             kind="oltp",
             saturated=True,
-            metadata={"scale": scale, "txns_per_client": txns_per_client},
+            metadata=metadata,
         )
 
     return _stored("oltp_workload",
-                   {"scale": scale, "n_clients": n_clients,
-                    "txns_per_client": txns_per_client, "seed": seed},
+                   _contention_params(
+                       {"scale": scale, "n_clients": n_clients,
+                        "txns_per_client": txns_per_client, "seed": seed},
+                       skew_spec, cc_mode),
                    build)
 
 
 @functools.lru_cache(maxsize=16)
 def oltp_unsaturated(scale: float = 1.0, seed: int = 42,
-                     txns: int = OLTP_UNSAT_TXNS) -> Workload:
+                     txns: int = OLTP_UNSAT_TXNS,
+                     skew: SkewSpec | None = None,
+                     cc_mode: str = "2pl") -> Workload:
     """Unsaturated OLTP bundle: one client, one transaction stream."""
+    skew_spec = as_skew(skew)
+    validate_cc_mode(cc_mode)
+    tag = _contention_tag(skew_spec, cc_mode)
+
     def build() -> Workload:
-        tpcc = TpccDatabase(scale=scale, seed=seed)
+        tpcc = TpccDatabase(scale=scale, seed=seed, skew=skew_spec,
+                            cc_mode=cc_mode)
         return Workload(
-            name="tpcc-unsat",
+            name="tpcc-unsat" + (f"@{tag}" if tag else ""),
             traces=[tpcc.run_client(0, txns)],
             kind="oltp",
             saturated=False,
@@ -135,7 +178,10 @@ def oltp_unsaturated(scale: float = 1.0, seed: int = 42,
         )
 
     return _stored("oltp_unsaturated",
-                   {"scale": scale, "seed": seed, "txns": txns}, build)
+                   _contention_params(
+                       {"scale": scale, "seed": seed, "txns": txns},
+                       skew_spec, cc_mode),
+                   build)
 
 
 @functools.lru_cache(maxsize=16)
@@ -243,7 +289,8 @@ def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
 
 
 def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
-                 n_clients: int | None = None) -> Workload:
+                 n_clients: int | None = None, skew: SkewSpec | None = None,
+                 cc_mode: str = "2pl") -> Workload:
     """Dispatch: (kind, regime) -> the matching bundle.
 
     Args:
@@ -252,30 +299,45 @@ def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
         scale: Study-wide scale factor.
         seed: Override the default seed.
         n_clients: Override the paper's client count (saturated only).
+        skew: Optional contention knobs (OLTP only).
+        cc_mode: Concurrency-control mode (OLTP only; default ``"2pl"``).
     """
     if kind not in ("oltp", "dss"):
         raise ValueError(f"unknown workload kind {kind!r}")
     if regime not in ("saturated", "unsaturated"):
         raise ValueError(f"unknown regime {regime!r}")
+    skew_spec = as_skew(skew)
+    validate_cc_mode(cc_mode)
+    contended = skew_spec.active or cc_mode != "2pl"
+    if contended and kind != "oltp":
+        raise ValueError(
+            "skew/cc_mode apply to kind='oltp' only (DSS has no "
+            "transaction contention model)")
     coord = (kind, regime, scale, n_clients)
+    if contended:
+        coord += (skew_spec.key(), cc_mode)
     if seed is None:
         local = _BUILT.get(coord)
         if local is not None:
             return local
-        if _provider is not None:
+        # The shared-memory arena only exports default bundles; opted-in
+        # contention bundles fall through to the builders.
+        if _provider is not None and not contended:
             workload = _provider(kind, regime, scale, n_clients)
             if workload is not None:
                 return workload
     if kind == "oltp":
+        contention_kwargs = (
+            {"skew": skew_spec, "cc_mode": cc_mode} if contended else {})
         if regime == "saturated":
-            kwargs = {"scale": scale}
+            kwargs = {"scale": scale, **contention_kwargs}
             if seed is not None:
                 kwargs["seed"] = seed
             if n_clients is not None:
                 kwargs["n_clients"] = n_clients
             workload = oltp_workload(**kwargs)
         else:
-            workload = oltp_unsaturated(scale=scale, **(
+            workload = oltp_unsaturated(scale=scale, **contention_kwargs, **(
                 {"seed": seed} if seed is not None else {}))
     elif regime == "saturated":
         kwargs = {"scale": scale}

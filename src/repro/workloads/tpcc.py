@@ -33,7 +33,9 @@ from ..db.computed_index import ComputedDenseIndex
 from ..db.btree import BTreeIndex
 from ..db import costs
 from ..db.exec import fused
+from ..db.txn import PartitionLockManager, validate_cc_mode
 from ..db.types import char, date, float64, int64
+from .contention import SkewSpec, ZipfGenerator, as_skew
 
 #: Workload-level microarchitectural properties (Section 2 taxonomy):
 #: OLTP's dependence chains cap OoO gains, so the camps' achieved ILP is
@@ -101,18 +103,44 @@ class TpccDatabase:
     Args:
         scale: Study-wide scale factor.
         seed: Base seed for data generation.
+        skew: Optional :class:`SkewSpec` contention knobs.  None (or the
+            inert default spec) keeps the benchmark's stock
+            distributions — and the emitted traces — bit-identical.
+        cc_mode: ``"2pl"`` (row locks through the shared lock table) or
+            ``"partitioned"`` (whole-warehouse claims through
+            :class:`PartitionLockManager` — per-partition lines instead
+            of shared hash buckets, so the lock-traffic coherence
+            profile changes with the camp).
     """
 
-    def __init__(self, scale: float = 1.0, seed: int = 42):
+    def __init__(self, scale: float = 1.0, seed: int = 42,
+                 skew: SkewSpec | None = None, cc_mode: str = "2pl"):
         self.cfg = TpccConfig.from_scale(scale)
         self.scale = scale
         self.seed = seed
+        self.skew = as_skew(skew)
+        self.cc_mode = validate_cc_mode(cc_mode)
         self.db = Database("tpcc")
         #: Popular-item subset size per warehouse (see tx_neworder).
         self._popular_items = max(120, round(500 * scale))
         self._build_schema()
         self._populate()
         self._build_indexes()
+        # Skew machinery and the partition lock region exist only when
+        # opted into, so default instances allocate (and draw) exactly
+        # what they always did.
+        theta = self.skew.theta
+        self._item_zipf = (ZipfGenerator(self.cfg.items, theta)
+                           if theta > 0 else None)
+        self._cust_zipf = (ZipfGenerator(self.cfg.customers_per_district,
+                                         theta) if theta > 0 else None)
+        self._stock_cross = (0.01 if self.skew.cross_rate is None
+                             else self.skew.cross_rate)
+        self._pay_cross = (0.15 if self.skew.cross_rate is None
+                           else self.skew.cross_rate)
+        self._partition_locks = (
+            PartitionLockManager(self.db.space, self.cfg.warehouses)
+            if self.cc_mode == "partitioned" else None)
         # Per-customer most recent order rid for OrderStatus.
         self._last_order: dict[int, int] = {}
 
@@ -226,6 +254,36 @@ class TpccDatabase:
         return w * self.cfg.districts_per_wh + d
 
     # ------------------------------------------------------------------ #
+    # Concurrency-control routing                                         #
+    # ------------------------------------------------------------------ #
+
+    def _begin(self, sess, home_w: int):
+        """Open a transaction; partitioned mode claims the home warehouse."""
+        txn = sess.begin()
+        if self._partition_locks is not None:
+            self._partition_locks.acquire(txn.txn_id, home_w, sess.tracer)
+        return txn
+
+    def _lock_row(self, txn, tracer, resource, partition: int) -> None:
+        """One write-intent: a row lock (2PL) or a partition claim."""
+        if self._partition_locks is not None:
+            self._partition_locks.acquire(txn.txn_id, partition, tracer)
+        else:
+            txn.lock(resource, LockMode.EXCLUSIVE, tracer)
+
+    def _commit(self, sess, txn) -> None:
+        """Commit; partitioned mode releases its warehouse claims."""
+        sess.commit(txn)
+        if self._partition_locks is not None:
+            self._partition_locks.release_all(txn.txn_id, sess.tracer)
+
+    def _choose_customer(self, rng: random.Random) -> int:
+        """District-local customer id: NURand, or Zipf when skewed."""
+        if self._cust_zipf is not None:
+            return self._cust_zipf.sample(rng)
+        return _nurand(rng, 1023, 0, self.cfg.customers_per_district - 1)
+
+    # ------------------------------------------------------------------ #
     # Traced row access helpers                                           #
     # ------------------------------------------------------------------ #
 
@@ -281,13 +339,13 @@ class TpccDatabase:
         tracer = sess.tracer
         tracer.enter("txn.neworder")
         tracer.compute(costs.QUERY_SETUP // 4)
-        txn = sess.begin()
+        txn = self._begin(sess, home_w)
         d = rng.randrange(cfg.districts_per_wh)
-        c = _nurand(rng, 1023, 0, cfg.customers_per_district - 1)
+        c = self._choose_customer(rng)
         # Warehouse tax read.
         self._read_row(sess, self.warehouse, home_w, dependent=False)
         # District: read + bump next_o_id (hot per-district write).
-        txn.lock(("district", home_w, d), LockMode.EXCLUSIVE, tracer)
+        self._lock_row(txn, tracer, ("district", home_w, d), home_w)
         d_rid = self.district_rid(home_w, d)
         d_row = self._read_row(sess, self.district, d_rid)
         o_id = d_row[2]
@@ -314,7 +372,11 @@ class TpccDatabase:
             # popular-item subset (reused across that warehouse's clients,
             # part of the primary working set); the rest are NURand over
             # the full catalog (the irreducible cold stream).
-            if rng.random() < 0.6:
+            if self._item_zipf is not None:
+                # Opt-in Zipfian catalog: rank 0 hottest, shared across
+                # every warehouse — contention rises with theta.
+                i = self._item_zipf.sample(rng)
+            elif rng.random() < 0.6:
                 # Popular items are a contiguous catalog range per
                 # warehouse (seasonal/promoted SKUs), so their stock rows
                 # and index leaves stay dense — a genuinely small hot set.
@@ -323,7 +385,7 @@ class TpccDatabase:
             else:
                 i = _nurand(rng, 8191, 0, cfg.items - 1)
             supply_w = home_w
-            if cfg.warehouses > 1 and rng.random() < 0.01:
+            if cfg.warehouses > 1 and rng.random() < self._stock_cross:
                 supply_w = rng.randrange(cfg.warehouses - 1)
                 if supply_w >= home_w:
                     supply_w += 1
@@ -332,7 +394,7 @@ class TpccDatabase:
             item_row = self._read_row(sess, self.item, irid)
             # Stock read-modify-write (cold table, row lock).
             skey = self.stock_key(supply_w, i)
-            txn.lock(("stock", skey), LockMode.EXCLUSIVE, tracer)
+            self._lock_row(txn, tracer, ("stock", skey), supply_w)
             srid = self.stock_idx.search(skey, tracer)
             s_row = self._read_row(sess, self.stock, srid)
             qty = s_row[2]
@@ -347,7 +409,7 @@ class TpccDatabase:
             )
             self.order_line_idx.insert((home_w, d, o_id, number), olrid,
                                        tracer)
-        sess.commit(txn)
+        self._commit(sess, txn)
 
     def tx_payment(self, sess, rng: random.Random, home_w: int) -> None:
         """Payment: warehouse/district YTD bumps — the hot shared writes."""
@@ -355,31 +417,31 @@ class TpccDatabase:
         tracer = sess.tracer
         tracer.enter("txn.payment")
         tracer.compute(costs.QUERY_SETUP // 5)
-        txn = sess.begin()
+        txn = self._begin(sess, home_w)
         d = rng.randrange(cfg.districts_per_wh)
         amount = 1.0 + rng.random() * 4999.0
         # 15% of payments are for a remote customer (cross-warehouse).
         c_w, c_d = home_w, d
-        if cfg.warehouses > 1 and rng.random() < 0.15:
+        if cfg.warehouses > 1 and rng.random() < self._pay_cross:
             c_w = rng.randrange(cfg.warehouses - 1)
             if c_w >= home_w:
                 c_w += 1
             c_d = rng.randrange(cfg.districts_per_wh)
-        c = _nurand(rng, 1023, 0, cfg.customers_per_district - 1)
+        c = self._choose_customer(rng)
         # Warehouse YTD (every payment to this warehouse writes this row).
-        txn.lock(("warehouse", home_w), LockMode.EXCLUSIVE, tracer)
+        self._lock_row(txn, tracer, ("warehouse", home_w), home_w)
         w_row = self._read_row(sess, self.warehouse, home_w)
         self._write_field(sess, self.warehouse, home_w, 1,
                           w_row[1] + amount, txn)
         # District YTD.
-        txn.lock(("district", home_w, d), LockMode.EXCLUSIVE, tracer)
+        self._lock_row(txn, tracer, ("district", home_w, d), home_w)
         d_rid = self.district_rid(home_w, d)
         d_row = self._read_row(sess, self.district, d_rid)
         self._write_field(sess, self.district, d_rid, 3,
                           d_row[3] + amount, txn)
         # Customer balance.
         ckey = self.customer_key(c_w, c_d, c)
-        txn.lock(("customer", ckey), LockMode.EXCLUSIVE, tracer)
+        self._lock_row(txn, tracer, ("customer", ckey), c_w)
         crid = self.customer_idx.search(ckey, tracer)
         c_row = self._read_row(sess, self.customer, crid)
         self._write_field(sess, self.customer, crid, 3,
@@ -389,7 +451,7 @@ class TpccDatabase:
         # History insert.
         self._insert_row(sess, self.history,
                          (c, home_w, d, amount, "hist"), txn)
-        sess.commit(txn)
+        self._commit(sess, txn)
 
     def tx_orderstatus(self, sess, rng: random.Random, home_w: int) -> None:
         """OrderStatus: read-only customer + last order + its lines."""
@@ -397,9 +459,9 @@ class TpccDatabase:
         tracer = sess.tracer
         tracer.enter("txn.orderstatus")
         tracer.compute(costs.QUERY_SETUP // 5)
-        txn = sess.begin()
+        txn = self._begin(sess, home_w)
         d = rng.randrange(cfg.districts_per_wh)
-        c = _nurand(rng, 1023, 0, cfg.customers_per_district - 1)
+        c = self._choose_customer(rng)
         ckey = self.customer_key(home_w, d, c)
         crid = self.customer_idx.search(ckey, tracer)
         self._read_row(sess, self.customer, crid)
@@ -411,7 +473,7 @@ class TpccDatabase:
                 (home_w, d, o_id, 0), (home_w, d, o_id + 1, 0), tracer
             ):
                 self._read_row(sess, self.order_line, olrid)
-        sess.commit(txn)
+        self._commit(sess, txn)
 
     def tx_delivery(self, sess, rng: random.Random, home_w: int) -> None:
         """Delivery: drain one pending order per district."""
@@ -419,7 +481,7 @@ class TpccDatabase:
         tracer = sess.tracer
         tracer.enter("txn.delivery")
         tracer.compute(costs.QUERY_SETUP // 5)
-        txn = sess.begin()
+        txn = self._begin(sess, home_w)
         carrier = rng.randint(1, 10)
         for d in range(cfg.districts_per_wh):
             # Oldest undelivered order: the minimum key in this district's
@@ -452,7 +514,7 @@ class TpccDatabase:
             c_row = self._read_row(sess, self.customer, crid)
             self._write_field(sess, self.customer, crid, 3,
                               c_row[3] + total, txn)
-        sess.commit(txn)
+        self._commit(sess, txn)
 
     def tx_stocklevel(self, sess, rng: random.Random, home_w: int) -> None:
         """StockLevel: read-only scan of recent order lines' stock rows."""
@@ -460,7 +522,7 @@ class TpccDatabase:
         tracer = sess.tracer
         tracer.enter("txn.stocklevel")
         tracer.compute(costs.QUERY_SETUP // 5)
-        txn = sess.begin()
+        txn = self._begin(sess, home_w)
         d = rng.randrange(cfg.districts_per_wh)
         d_row = self._read_row(sess, self.district, self.district_rid(home_w, d))
         next_o = d_row[2]
@@ -476,7 +538,7 @@ class TpccDatabase:
             s_row = self._read_row(sess, self.stock, srid)
             if s_row[2] < threshold:
                 low += 1
-        sess.commit(txn)
+        self._commit(sess, txn)
 
     # ------------------------------------------------------------------ #
     # Client driver                                                       #
@@ -487,7 +549,9 @@ class TpccDatabase:
 
         The client's home warehouse is ``client_no % warehouses`` (several
         clients share a warehouse when clients exceed warehouses — the hot
-        row sharing the coherence study needs).
+        row sharing the coherence study needs).  With ``hot_warehouses``
+        set, homes draw from the first N warehouses only, piling more
+        clients onto each warehouse's hot rows.
         """
         rng = random.Random((self.seed if seed is None else seed) * 10_007
                             + client_no)
@@ -495,7 +559,10 @@ class TpccDatabase:
             f"tpcc-c{client_no}", ilp=OLTP_ILP,
             branch_mpki=OLTP_BRANCH_MPKI, ilp_inorder=OLTP_ILP_INORDER,
         )
-        home_w = client_no % self.cfg.warehouses
+        pool = self.cfg.warehouses
+        if self.skew.hot_warehouses is not None:
+            pool = min(self.skew.hot_warehouses, pool)
+        home_w = client_no % pool
         dispatch = {
             "neworder": self.tx_neworder,
             "payment": self.tx_payment,

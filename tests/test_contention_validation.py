@@ -1,0 +1,135 @@
+"""Eager validation of the contention knobs at every entry point.
+
+A typo'd ``cc_mode`` or a negative theta must fail at construction with
+a message naming the parameter — not hours later inside a sweep, and
+never by silently running the default workload instead.
+"""
+
+import pytest
+
+from repro.core.parallel import RunSpec
+from repro.db.txn import CC_MODES, validate_cc_mode
+from repro.simulator.configs import fc_cmp
+from repro.workloads.contention import (
+    SkewSpec,
+    as_skew,
+    simulate_contention,
+)
+from repro.workloads.driver import workload_for
+from repro.workloads.tpcc import TpccDatabase
+
+SCALE = 0.01
+
+
+def test_cc_modes_registry():
+    assert CC_MODES == ("2pl", "partitioned")
+    for mode in CC_MODES:
+        assert validate_cc_mode(mode) == mode
+
+
+@pytest.mark.parametrize("bad", ["mvcc", "2PL", "", "occ", None, 2])
+def test_unknown_cc_mode_rejected(bad):
+    with pytest.raises(ValueError, match="cc_mode"):
+        validate_cc_mode(bad)
+
+
+def test_skew_spec_defaults_inactive():
+    spec = SkewSpec()
+    assert not spec.active
+    assert as_skew(None) == spec
+    assert as_skew(spec) is spec
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"theta": -0.1},
+    {"theta": float("nan")},
+    {"hot_warehouses": 0},
+    {"hot_warehouses": -3},
+    {"hot_warehouses": True},
+    {"hot_warehouses": 2.0},
+    {"cross_rate": -0.01},
+    {"cross_rate": 1.01},
+])
+def test_bad_skew_parameters_rejected(kwargs):
+    with pytest.raises((ValueError, TypeError)):
+        SkewSpec(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"theta": 0.0},
+    {"theta": 2.5},
+    {"hot_warehouses": 1},
+    {"cross_rate": 0.0},
+    {"cross_rate": 1.0},
+])
+def test_edge_skew_parameters_accepted(kwargs):
+    spec = SkewSpec(**kwargs)
+    assert spec.key()  # canonical form exists
+
+
+def test_as_skew_rejects_foreign_types():
+    with pytest.raises(TypeError):
+        as_skew({"theta": 0.9})
+    with pytest.raises(TypeError):
+        as_skew(0.9)
+
+
+def test_simulate_contention_validates_shape():
+    with pytest.raises(ValueError):
+        simulate_contention(scale=SCALE, n_clients=0)
+    with pytest.raises(ValueError):
+        simulate_contention(scale=SCALE, txns_per_client=0)
+    with pytest.raises(ValueError, match="cc_mode"):
+        simulate_contention(scale=SCALE, cc_mode="occ")
+
+
+def test_tpcc_database_validates_eagerly():
+    with pytest.raises(ValueError, match="cc_mode"):
+        TpccDatabase(scale=SCALE, cc_mode="timestamp")
+    with pytest.raises(TypeError):
+        TpccDatabase(scale=SCALE, skew=0.9)
+    with pytest.raises(ValueError):
+        TpccDatabase(scale=SCALE, skew=SkewSpec(theta=-1))
+
+
+def test_workload_for_rejects_dss_contention():
+    with pytest.raises(ValueError, match="oltp"):
+        workload_for("dss", "saturated", SCALE, skew=SkewSpec(theta=0.9))
+    with pytest.raises(ValueError, match="oltp"):
+        workload_for("dss", "saturated", SCALE, cc_mode="partitioned")
+    with pytest.raises(ValueError, match="cc_mode"):
+        workload_for("oltp", "saturated", SCALE, cc_mode="eventual")
+
+
+def test_run_spec_validates_eagerly():
+    config = fc_cmp(scale=SCALE)
+    with pytest.raises(ValueError, match="cc_mode"):
+        RunSpec(config, "oltp", cc_mode="quorum")
+    with pytest.raises(ValueError):
+        RunSpec(config, "dss", skew=SkewSpec(theta=0.9))
+    with pytest.raises(ValueError):
+        RunSpec(config, "oltp", skew=SkewSpec(hot_warehouses=0))
+
+
+def test_run_spec_key_gating():
+    """Default specs keep the pre-contention cache key shape; contended
+    specs extend it — old cache entries stay valid, new ones are
+    distinct per (skew, cc_mode)."""
+    config = fc_cmp(scale=SCALE)
+    default_key = RunSpec(config, "oltp").key(SCALE, 1000)
+    inert_key = RunSpec(config, "oltp", skew=SkewSpec(),
+                        cc_mode="2pl").key(SCALE, 1000)
+    assert inert_key == default_key
+    skewed = RunSpec(config, "oltp", skew=SkewSpec(theta=0.9))
+    partitioned = RunSpec(config, "oltp", cc_mode="partitioned")
+    assert skewed.key(SCALE, 1000) != default_key
+    assert partitioned.key(SCALE, 1000) != default_key
+    assert skewed.key(SCALE, 1000) != partitioned.key(SCALE, 1000)
+    assert len(default_key) + 1 == len(skewed.key(SCALE, 1000))
+
+
+def test_skew_describe_round_trip():
+    assert SkewSpec().describe() == "uniform"
+    assert SkewSpec(theta=0.9).describe() == "z0.9"
+    assert SkewSpec(theta=0.9, hot_warehouses=2,
+                    cross_rate=0.3).describe() == "z0.9-h2-x0.3"
