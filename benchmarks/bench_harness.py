@@ -18,7 +18,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.core.bench import DEFAULT_OUT, format_bench, run_bench
+from repro.core.bench import (
+    DEFAULT_OUT,
+    BenchRegressionError,
+    format_bench,
+    run_bench,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -35,9 +40,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="annotate timing deltas against an earlier "
                              "BENCH_*.json snapshot (annotation only — a "
                              "missing or old-schema baseline never fails)")
+    parser.add_argument("--fail-below", type=float, default=None,
+                        metavar="FACTOR",
+                        help="with --compare: exit 1 when the total speedup "
+                             "over the baseline is below FACTOR (the "
+                             "snapshot is still written first)")
     args = parser.parse_args(argv)
-    record = run_bench(quick=args.quick, out_path=args.out, jobs=args.jobs,
-                       compare=args.compare)
+    try:
+        record = run_bench(quick=args.quick, out_path=args.out,
+                           jobs=args.jobs, compare=args.compare,
+                           fail_below=args.fail_below)
+    except BenchRegressionError as err:
+        print(f"wrote {args.out}")
+        print(f"bench: regression gate failed — {err}", file=sys.stderr)
+        return 1
     print(format_bench(record))
     print(f"wrote {args.out}")
     return 0

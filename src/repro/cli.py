@@ -183,13 +183,16 @@ def run_sweep_cmd(args) -> int:
 
 def run_bench_cmd(quick: bool, out_path: str | None,
                   compare: str | None = None,
-                  load: bool = False) -> int:
+                  load: bool = False,
+                  fail_below: float | None = None) -> int:
     """Time the pinned mini-sweep and write a ``BENCH_*.json`` snapshot.
 
     With ``load``, run the service load test (``repro bench --load``)
     instead: closed-loop concurrent clients against an in-process
     :class:`~repro.serve.service.DesignService`, latency percentiles
-    out (see DESIGN.md §12.5).
+    out (see DESIGN.md §12.5).  ``fail_below`` turns ``--compare`` into
+    a gate: exit nonzero when the total speedup over the baseline falls
+    below the factor (the snapshot is still written first).
     """
     if load:
         from .serve import loadtest
@@ -203,10 +206,18 @@ def run_bench_cmd(quick: bool, out_path: str | None,
 
     out = out_path or bench.DEFAULT_OUT
     try:
-        record = bench.run_bench(quick=quick, out_path=out, compare=compare)
+        record = bench.run_bench(quick=quick, out_path=out, compare=compare,
+                                 fail_below=fail_below)
     except SweepError as err:
         print(f"bench: sweep failed — {err}", file=sys.stderr)
         return 1
+    except bench.BenchRegressionError as err:
+        print(f"wrote {out}")
+        print(f"bench: regression gate failed — {err}", file=sys.stderr)
+        return 1
+    except ValueError as err:
+        print(f"bench: invalid arguments — {err}", file=sys.stderr)
+        return 2
     print(bench.format_bench(record))
     print(f"wrote {out}")
     return 0
@@ -361,11 +372,18 @@ def main(argv: list[str] | None = None) -> int:
                              "(the CI configuration)")
     parser.add_argument("--bench-out", metavar="PATH", default=None,
                         help="with 'bench': output JSON path (default: "
-                             "BENCH_PR5.json)")
+                             "BENCH_PR9.json)")
     parser.add_argument("--compare", metavar="PATH", default=None,
                         help="with 'bench': annotate timing deltas against "
                              "an earlier BENCH_*.json snapshot (never fails "
                              "on a missing or old-schema baseline)")
+    parser.add_argument("--fail-below", metavar="FACTOR", type=float,
+                        default=None,
+                        help="with 'bench --compare': exit nonzero when the "
+                             "total speedup over the baseline is below "
+                             "FACTOR (the snapshot is still written); use a "
+                             "tolerant factor well under 1 to catch real "
+                             "regressions, not timing noise")
     parser.add_argument("--load", action="store_true",
                         help="with 'bench': run the service load test "
                              "(latency percentiles under concurrent "
@@ -483,10 +501,11 @@ def main(argv: list[str] | None = None) -> int:
     if targets[0] == "bench":
         if len(targets) != 1:
             print("usage: repro bench [--quick] [--load] "
-                  "[--bench-out PATH] [--compare PATH]", file=sys.stderr)
+                  "[--bench-out PATH] [--compare PATH] "
+                  "[--fail-below FACTOR]", file=sys.stderr)
             return 2
         return run_bench_cmd(args.quick, args.bench_out, args.compare,
-                             load=args.load)
+                             load=args.load, fail_below=args.fail_below)
     if targets[0] == "serve":
         if len(targets) != 1:
             print("usage: repro serve [--host HOST] [--port PORT] "

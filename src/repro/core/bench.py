@@ -23,13 +23,16 @@ regression) to the right layer.
 
 All durations are monotonic (``time.perf_counter`` deltas only — recorded
 durations never touch the wall clock, which ``tests/test_bench_harness.py``
-locks down).  The result is written as ``BENCH_PR6.json`` at the repo
+locks down).  The result is written as ``BENCH_PR9.json`` at the repo
 root: one schema-versioned snapshot per PR, so future PRs can diff the
 trajectory and catch harness regressions without re-deriving a baseline.
 
-Timing numbers vary with host load, so CI treats the harness as a smoke
-test (it must *run*, not hit a target) and ``--compare`` only annotates
-deltas; the JSON artifact is where the trajectory accumulates.
+Timing numbers vary with host load, so by default CI treats the harness
+as a smoke test (it must *run*, not hit a target) and ``--compare`` only
+annotates deltas.  ``--fail-below FACTOR`` turns the annotation into a
+gate: the run fails when the total speedup over the compared baseline
+drops below FACTOR (use a tolerant factor well under 1 — the gate is for
+catching order-of-magnitude regressions, not timing noise).
 """
 
 from __future__ import annotations
@@ -52,11 +55,20 @@ __all__ = [
     "BENCH_MODES",
     "BENCH_SCHEMA",
     "DEFAULT_OUT",
+    "BenchRegressionError",
     "compare_bench",
     "load_baseline",
     "run_bench",
     "validate_bench",
 ]
+
+
+class BenchRegressionError(RuntimeError):
+    """Raised by ``run_bench(fail_below=...)`` when the gate trips.
+
+    The bench record was already validated and written before the check,
+    so CI keeps its artifact even for a failing run.
+    """
 
 #: Schema version stamped into every bench record.  v2 adds the
 #: trace_build_seconds / simulate_seconds phase split and the optional
@@ -64,7 +76,7 @@ __all__ = [
 BENCH_SCHEMA = "repro-bench-v2"
 
 #: Default output filename (repo root).
-DEFAULT_OUT = "BENCH_PR6.json"
+DEFAULT_OUT = "BENCH_PR9.json"
 
 #: The three timed execution paths, in run order (warm must follow cold).
 BENCH_MODES = ("serial", "parallel-cold", "parallel-warm")
@@ -153,7 +165,8 @@ def _timed_run(specs, config, mode: str, jobs: int,
 
 def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
               jobs: int | None = None,
-              compare: str | None = None) -> dict:
+              compare: str | None = None,
+              fail_below: float | None = None) -> dict:
     """Time the pinned mini-sweep through all three execution paths.
 
     Args:
@@ -162,13 +175,24 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
         jobs: Pool width override for the parallel modes.
         compare: Path of an earlier ``BENCH_*.json`` to annotate timing
             deltas against (any schema version; tolerantly loaded).  The
-            annotation can never fail the bench — an unreadable baseline
-            is recorded as such.
+            annotation alone can never fail the bench — an unreadable
+            baseline is recorded as such.
+        fail_below: When set (requires ``compare``), gate on the
+            comparison: raise :class:`BenchRegressionError` after the
+            record is written if the total speedup over the baseline is
+            below this factor — or if the baseline could not be read, so
+            a misconfigured gate cannot silently pass.
 
     Returns:
         The bench record (also written to ``out_path``), validated
         against :func:`validate_bench` before any write.
+
+    Raises:
+        ValueError: for ``fail_below`` without ``compare``.
+        BenchRegressionError: when the ``fail_below`` gate trips.
     """
+    if fail_below is not None and not compare:
+        raise ValueError("fail_below requires a compare baseline")
     config = dict(QUICK_CONFIG if quick else FULL_CONFIG)
     config["quick"] = quick
     if jobs is not None:
@@ -226,6 +250,16 @@ def run_bench(quick: bool = True, out_path: str | None = DEFAULT_OUT,
             except OSError:
                 pass
             raise
+    if fail_below is not None:
+        cmp = record["compare"]
+        if "error" in cmp:
+            raise BenchRegressionError(
+                f"cannot gate on {compare}: {cmp['error']}")
+        speedup = cmp.get("total_speedup")
+        if speedup is None or speedup < fail_below:
+            raise BenchRegressionError(
+                f"total speedup {speedup} vs {compare} is below the "
+                f"--fail-below gate of {fail_below}")
     return record
 
 

@@ -58,6 +58,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
 from multiprocessing import shared_memory
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback
+    _np = None
+
 from ..simulator.machine import (
     DEFAULT_MEASURE_CYCLES,
     Machine,
@@ -65,6 +70,7 @@ from ..simulator.machine import (
     MachineResult,
 )
 from ..simulator.profiling import NULL_PROBE, RunProbe
+from ..simulator.replay import kernels_enabled
 from ..simulator.trace import CodeFootprint, Trace, Workload
 from ..workloads import driver as _driver
 from ..workloads.contention import SkewSpec, as_skew
@@ -303,6 +309,14 @@ def prebuild_workloads(specs, scale: float, indices=None) -> int:
     and later processes.  Building is deterministic, so this cannot change
     any result — only where the build time is spent.
 
+    With the replay kernels enabled this also warms each bundle's derived
+    columns (``kernel_cols``/``line_sets`` and the specs' ``work_cols``)
+    and pre-populates the shared warm-state memo
+    (:meth:`Machine.prewarm`): both are pure functions of the trace
+    columns and machine parameters, so deriving them here just moves
+    their cost into the build phase the callers already attribute to
+    workload construction.
+
     Args:
         specs: The sweep batch.
         scale: Study scale factor.
@@ -312,17 +326,39 @@ def prebuild_workloads(specs, scale: float, indices=None) -> int:
         The number of distinct bundles built (or found already built).
     """
     seen = set()
+    warmed = set()
+    derive = kernels_enabled()
     it = specs if indices is None else (specs[i] for i in indices)
     for spec in it:
         coord = (spec.kind, spec.regime, spec.n_clients)
         if spec.contended:
             coord += (as_skew(spec.skew).key(), spec.cc_mode)
-        if coord in seen:
-            continue
+        fresh = coord not in seen
         seen.add(coord)
-        workload_for(spec.kind, spec.regime, scale,
-                     n_clients=spec.n_clients, skew=spec.skew,
-                     cc_mode=spec.cc_mode)
+        core = spec.config.core
+        hcfg = spec.config.hierarchy
+        # The warm-memo key is L2-size-invariant: specs that differ only
+        # in swept L2 geometry collapse onto one entry here.
+        camp_key = coord + (core.issue_width, core.inorder_issue,
+                            core.branch_penalty, core.n_contexts,
+                            hcfg.n_cores, hcfg.l1d_kb, hcfg.l1_assoc,
+                            spec.config.smp)
+        if not fresh and (not derive or camp_key in warmed):
+            continue
+        wl = workload_for(spec.kind, spec.regime, scale,
+                          n_clients=spec.n_clients, skew=spec.skew,
+                          cc_mode=spec.cc_mode)
+        if derive and camp_key not in warmed:
+            warmed.add(camp_key)
+            for tr in wl.traces:
+                if not len(tr):
+                    continue
+                tr.kernel_cols()
+                tr.line_sets()
+                tr.work_cols(core.effective_rate(tr), core.branch_penalty)
+            if not spec.config.smp:
+                Machine(spec.config).prewarm(
+                    wl, warm_fraction=WARM_FRACTIONS[spec.kind])
     return len(seen)
 
 
@@ -452,7 +488,13 @@ class SharedBundleArena:
         Returns None when shared memory is unavailable (sandboxed
         ``/dev/shm``, size limits): the sweep then runs exactly as before,
         workers rebuilding or store-loading bundles themselves.
+
+        With the replay kernels enabled the derived kernel columns ride
+        along (``kcols_offset``): the parent derives ``(lw, n_lines,
+        jumped)`` once and every worker adopts them as views over the
+        same mapping instead of re-deriving per process.
         """
+        derive = kernels_enabled()
         docs = []
         blobs: list[bytes] = []
         offset = 0
@@ -474,6 +516,17 @@ class SharedBundleArena:
                 blobs.append(addr_blob)
                 blobs.append(meta_blob)
                 offset += len(addr_blob) + len(meta_blob)
+                if derive and len(tr):
+                    lw, jumped, n_lines = tr.kernel_cols()
+                    if lw is not None:
+                        # lw (8n) + n_lines (4n) + jumped (n), padded so
+                        # the next trace's columns stay 8-byte aligned.
+                        kblob = (lw.tobytes() + n_lines.tobytes()
+                                 + jumped.tobytes())
+                        kblob += b"\x00" * ((-len(kblob)) % 8)
+                        tds[-1]["kcols_offset"] = offset
+                        blobs.append(kblob)
+                        offset += len(kblob)
             docs.append({
                 "coord": coord,
                 "name": wl.name,
@@ -537,7 +590,7 @@ def _attach_bundles(manifest: dict) -> dict[tuple, Workload]:
         for td in doc["traces"]:
             lo = td["offset"]
             nb = td["n_events"] * 8
-            traces.append(Trace(
+            tr = Trace(
                 name=td["name"],
                 addrs=buf[lo:lo + nb].cast("Q"),
                 meta=buf[lo + nb:lo + 2 * nb].cast("Q"),
@@ -546,7 +599,16 @@ def _attach_bundles(manifest: dict) -> dict[tuple, Workload]:
                 ilp=td["ilp"],
                 branch_mpki=td["branch_mpki"],
                 ilp_inorder=td["ilp_inorder"],
-            ))
+            )
+            ko = td.get("kcols_offset")
+            if ko is not None and kernels_enabled():
+                n = td["n_events"]
+                tr.install_kernel_cols(
+                    _np.frombuffer(buf[ko:ko + 8 * n], dtype=_np.uint64),
+                    buf[ko + 12 * n:ko + 13 * n].cast("B"),
+                    buf[ko + 8 * n:ko + 12 * n].cast("I"),
+                )
+            traces.append(tr)
         bundles[tuple(doc["coord"])] = Workload(
             name=doc["name"],
             traces=traces,

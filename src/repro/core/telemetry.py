@@ -333,6 +333,9 @@ def summarize(events: list[dict]) -> dict:
       jobs), and their ratio ``worker_utilization``,
     - ``accesses`` and ``accesses_per_sec`` from worker profile
       snapshots,
+    - ``kernel_counters`` (replay-kernel engagement: ``l1_filter_hits``
+      / ``l1_filter_bypass`` / ``batched_steps``) summed over the same
+      snapshots,
     - ``cache`` totals and per-call-site ``cache_by_source``.
     """
     jobs_by_sweep: dict[str, int] = {}
@@ -344,6 +347,8 @@ def summarize(events: list[dict]) -> dict:
     counts = {"sweeps": 0, "specs": 0, "simulated": 0,
               "checkpoint_recalled": 0, "failed": 0, "retries": 0}
     accesses = 0
+    kernel = {"l1_filter_hits": 0, "l1_filter_bypass": 0,
+              "batched_steps": 0}
     exec_wall = 0.0
     for event in events:
         ev = event.get("ev")
@@ -373,6 +378,8 @@ def summarize(events: list[dict]) -> dict:
             profile = event.get("profile") or {}
             counters = profile.get("counters") or {}
             accesses += int(counters.get("data_accesses", 0))
+            for name in kernel:
+                kernel[name] += int(counters.get(name, 0))
         elif ev in ("cache_hit", "cache_miss", "cache_store"):
             bucket = {"cache_hit": "hits", "cache_miss": "misses",
                       "cache_store": "stores"}[ev]
@@ -396,6 +403,7 @@ def summarize(events: list[dict]) -> dict:
     summary["accesses"] = accesses
     summary["accesses_per_sec"] = (
         round(accesses / exec_wall, 3) if exec_wall > 0 else 0.0)
+    summary["kernel_counters"] = kernel
     summary["cache"] = cache_total
     summary["cache_by_source"] = cache_by_source
     return summary
@@ -526,6 +534,13 @@ def format_summary(summary: dict) -> str:
         f"accesses:           {summary['accesses']} "
         f"({summary['accesses_per_sec']:g}/s simulated)",
     ]
+    kernel = summary.get("kernel_counters") or {}
+    if any(kernel.values()):
+        lines.append(
+            "replay kernels:     "
+            f"filter hits {kernel.get('l1_filter_hits', 0)}, "
+            f"bypass exits {kernel.get('l1_filter_bypass', 0)}, "
+            f"batched steps {kernel.get('batched_steps', 0)}")
     cache_rows = [
         [source, per["hits"], per["misses"], per["stores"]]
         for source, per in sorted(summary["cache_by_source"].items())

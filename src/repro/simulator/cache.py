@@ -181,6 +181,26 @@ class SetAssocCache:
         return self._sets[line % self.n_sets].pop(line, None)
 
     # ------------------------------------------------------------------ #
+    # State snapshot/restore (warm memo + replay kernels)                 #
+    # ------------------------------------------------------------------ #
+
+    def snapshot_sets(self) -> list[dict[int, int]]:
+        """Copies of the per-set dicts (insertion order = LRU..MRU)."""
+        return [s.copy() for s in self._sets]
+
+    def load_sets(self, sets: list[dict[int, int]], copy: bool = True) -> None:
+        """Install set dicts from :meth:`snapshot_sets`.
+
+        ``copy=False`` adopts the dicts directly (caller must not reuse
+        them); stats are untouched either way.
+        """
+        if len(sets) != self.n_sets:
+            raise ValueError(
+                f"{self.name}: snapshot has {len(sets)} sets, "
+                f"cache has {self.n_sets}")
+        self._sets = [s.copy() for s in sets] if copy else list(sets)
+
+    # ------------------------------------------------------------------ #
     # Introspection                                                       #
     # ------------------------------------------------------------------ #
 

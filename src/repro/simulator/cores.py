@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 from .breakdown import Breakdown
 from .hierarchy import COH, L1, L1X, L2, MEM
+from .replay import kernels_enabled
 from .trace import (FLAG_CODE_JUMP, FLAG_DEPENDENT, FLAG_STREAM,
                     FLAG_WRITE, Trace)
 
@@ -162,6 +163,7 @@ class _Context:
         "retired", "passes", "state", "work_left", "comp_frac",
         "pending_addr", "pending_flags", "pending_icount", "has_pending",
         "wake_time", "wake_level", "wake_is_instr", "rate", "finished_at",
+        "col_sets", "cols",
     )
 
     RUNNABLE = 0
@@ -204,6 +206,21 @@ class _Context:
             self.rate = params.effective_rate(self.trace)
         else:
             self.rate = float(params.issue_width)
+        # Precomputed per-event work columns (jumped, n_lines, compute,
+        # branch) — pure functions of the trace and (rate, branch_penalty),
+        # shared through the trace's derived-column cache (DESIGN.md §14).
+        # None when the replay kernels are disabled: the step loops then
+        # evaluate the identical expressions inline, event by event.
+        if traces and kernels_enabled():
+            self.col_sets = [
+                (t.kernel_cols()[1], t.kernel_cols()[2],
+                 *t.work_cols(self.rate, params.branch_penalty))
+                for t in traces
+            ]
+            self.cols = self.col_sets[0]
+        else:
+            self.col_sets = None
+            self.cols = None
 
     def advance(self) -> tuple[int, int, int, int]:
         """Move to the next trace event; returns (icount, addr, flags, region).
@@ -221,6 +238,8 @@ class _Context:
             self.pos = self.positions[self.trace_idx]
             self.quantum_left = self.quantum
             self.last_region = -1
+            if self.col_sets is not None:
+                self.cols = self.col_sets[self.trace_idx]
         self.pos += 1
         if self.pos >= self.n:
             self.passes += 1
@@ -278,18 +297,45 @@ class FatCore:
         bd = self.breakdown
         hier = self.hier
         core_id = self.core_id
-        icount, addr, flags, region = ctx.advance()
-        trace = ctx.trace
-        jumped = region != ctx.last_region or bool(flags & FLAG_CODE_JUMP)
-        ctx.last_region = region
+        # Inlined _Context.advance fast path: the overwhelmingly common
+        # case is "next event of the same trace, same quantum" — no
+        # rotation, no wrap, one packed-column decode.
+        pos = ctx.pos + 1
+        if pos < ctx.n and (ctx.quantum_left > 0 or len(ctx.traces) == 1):
+            ctx.pos = pos
+            ctx.quantum_left -= 1
+            trace = ctx.trace
+            m = trace.meta[pos]
+            icount = m >> 24
+            addr = trace.addrs[pos]
+            flags = m & 0xFF
+            region = (m >> 8) & 0xFFFF
+        else:
+            icount, addr, flags, region = ctx.advance()
+            trace = ctx.trace
+            pos = ctx.pos
+        cols = ctx.cols
         fp = trace.footprints[region]
-        n_lines = max(1, icount // _INSTR_PER_LINE)
+        if cols is not None:
+            # Precomputed block-work columns (identical expressions,
+            # evaluated once per trace — DESIGN.md §14).  A fresh cursor
+            # (last_region < 0) always jumps; otherwise the previous
+            # event was pos-1 of this trace, which is exactly what the
+            # jumped column encodes.
+            jumped = True if ctx.last_region < 0 else cols[0][pos]
+            n_lines = cols[1][pos]
+            compute = cols[2][pos]
+            branch = cols[3][pos]
+        else:
+            jumped = region != ctx.last_region or bool(flags & FLAG_CODE_JUMP)
+            n_lines = max(1, icount // _INSTR_PER_LINE)
+            compute = icount / ctx.rate
+            branch = icount * trace.branch_mpki / 1000.0 * p.branch_penalty
+        ctx.last_region = region
         i_exposed, i_level = hier.instr_block(
             core_id, fp.base, fp.n_lines, n_lines, jumped, self.t
         )
         i_stall = max(0.0, i_exposed - p.ifetch_hide_cycles)
-        compute = icount / ctx.rate
-        branch = icount * trace.branch_mpki / 1000.0 * p.branch_penalty
         access_t = self.t + i_stall + compute
         lat, d_level = hier.data_access(
             core_id, addr, bool(flags & FLAG_WRITE), access_t
@@ -327,6 +373,15 @@ class FatCore:
             if ctx.passes + 1 >= self.pass_target:
                 ctx.finished_at = self.t
                 ctx.state = _Context.IDLE
+
+    def settle(self, horizon: float) -> None:
+        """End-of-window hook: nothing to flush on a fat core.
+
+        Fat cores account whole blocks atomically at completion time —
+        there is no partially-attributed interval to close at the window
+        edge, so the camp-uniform settle is a documented no-op (the lean
+        camp's interval accounting is the one that needs flushing).
+        """
 
 
 class LeanCore:
@@ -430,17 +485,38 @@ class LeanCore:
         An exposed instruction fetch stalls the context first; otherwise it
         becomes runnable with the block's compute work.
         """
-        icount, addr, flags, region = ctx.advance()
-        trace = ctx.trace
-        jumped = region != ctx.last_region or bool(flags & FLAG_CODE_JUMP)
-        ctx.last_region = region
+        # Inlined _Context.advance fast path (see FatCore.step).
+        pos = ctx.pos + 1
+        if pos < ctx.n and (ctx.quantum_left > 0 or len(ctx.traces) == 1):
+            ctx.pos = pos
+            ctx.quantum_left -= 1
+            trace = ctx.trace
+            m = trace.meta[pos]
+            icount = m >> 24
+            addr = trace.addrs[pos]
+            flags = m & 0xFF
+            region = (m >> 8) & 0xFFFF
+        else:
+            icount, addr, flags, region = ctx.advance()
+            trace = ctx.trace
+            pos = ctx.pos
+        cols = ctx.cols
         fp = trace.footprints[region]
-        n_lines = max(1, icount // _INSTR_PER_LINE)
+        if cols is not None:
+            jumped = True if ctx.last_region < 0 else cols[0][pos]
+            n_lines = cols[1][pos]
+            compute = cols[2][pos]
+            branch = cols[3][pos]
+        else:
+            jumped = region != ctx.last_region or bool(flags & FLAG_CODE_JUMP)
+            n_lines = max(1, icount // _INSTR_PER_LINE)
+            compute = icount / ctx.rate
+            branch = (icount * trace.branch_mpki / 1000.0
+                      * self.params.branch_penalty)
+        ctx.last_region = region
         i_exposed, i_level = self.hier.instr_block(
             self.core_id, fp.base, fp.n_lines, n_lines, jumped, self.t
         )
-        compute = icount / ctx.rate
-        branch = icount * trace.branch_mpki / 1000.0 * self.params.branch_penalty
         work = compute + branch
         ctx.work_left = work
         ctx.comp_frac = compute / work if work > 0 else 1.0
@@ -497,6 +573,21 @@ class LeanCore:
             ctx.wake_time = t + lat
             ctx.wake_level = level
             ctx.wake_is_instr = False
+
+    def settle(self, horizon: float) -> None:
+        """Close the window: attribute the trailing interval up to horizon.
+
+        A lean core accounts time as explicit intervals (processor
+        sharing / all-stalled attribution), so the stretch between its
+        last event and the measurement horizon must be attributed like
+        any other interval.  Only the genuinely trailing case advances —
+        a core whose next event lies *inside* the window never reaches
+        here with ``next_time() < horizon``.  The machine calls this
+        uniformly for both camps; :meth:`FatCore.settle` documents why
+        the fat camp's is a no-op.
+        """
+        if self.t < horizon and self.next_time() >= horizon:
+            self._advance_to(horizon)
 
     def step(self) -> None:
         """Advance to the next event and process every due transition."""

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from .cache import CLEAN, DIRTY, SetAssocCache
 from . import cacti
+from . import replay
 
 #: Access satisfied by the local L1 (no exposed stall; latency folded).
 L1 = 0
@@ -193,7 +194,18 @@ class SharedL2Hierarchy:
         #: When set (a list), warm_block appends every L2 access it makes,
         #: so the warm machinery can capture a replayable warm state.
         self._warm_log: list[tuple[int, int]] | None = None
+        #: Measure-phase L1 outcome replay session (DESIGN.md §14), or
+        #: None for the plain path.  Installed by the machine only for
+        #: runs whose warm memo entry carries recordings.
+        self._l1_filter = None
+        #: Kernel engagement counters drained by :meth:`observe`.
+        self.kernel_counters = {
+            "l1_filter_hits": 0, "l1_filter_bypass": 0, "batched_steps": 0}
         self.stats = HierarchyStats()
+
+    def set_l1_filter(self, session) -> None:
+        """Attach (or detach with None) a measure-phase replay session."""
+        self._l1_filter = session
 
     # ------------------------------------------------------------------ #
     # L2 bank port model                                                  #
@@ -230,10 +242,17 @@ class SharedL2Hierarchy:
         """
         p = self.params
         line = addr >> 6
+        fil = self._l1_filter
+        if fil is not None:
+            served = fil.pre(core, line, write, now)
+            if served is not None:
+                return served
         stats = self.stats
         counts = stats.data_level_counts
         stats.data_accesses += 1
         hit, victim = self._l1d[core].access(line, write)
+        if fil is not None:
+            fil.post(core, line, write, hit)
         if hit:
             counts[L1] += 1
             return p.l1_latency, L1
@@ -291,6 +310,44 @@ class SharedL2Hierarchy:
             # The prefetcher fetched the line ahead of use: the demand access
             # finds it arriving on chip and pays only the L2 round trip.
             stats.prefetch_covered += 1
+            counts[L2] += 1
+            return int(self.l2_latency + qdelay), L2
+        counts[MEM] += 1
+        return int(self.l2_latency + qdelay + p.mem_latency), MEM
+
+    def filtered_miss(
+        self, core: int, line: int, write: bool, now: float, counts
+    ) -> tuple[int, int]:
+        """The L2 side of :meth:`data_access` for a replayed L1 miss.
+
+        Mirrors the tail of :meth:`data_access` below the sibling scan —
+        stride-prefetch training, bank-port occupancy, the L2 lookup and
+        every counter they bump — with no L1, owner, or sibling
+        maintenance (the replay session owns those outcomes).  Any edit
+        to the tail of :meth:`data_access` must land here too; the
+        differential oracle (tests/test_simulate_kernel_oracle.py) pins
+        the two paths equal.
+        """
+        p = self.params
+        predicted = False
+        if p.stride_prefetch:
+            stride = line - self._pf_last[core]
+            if stride == self._pf_stride[core] and stride != 0:
+                if self._pf_conf[core] >= 2:
+                    predicted = True
+                else:
+                    self._pf_conf[core] += 1
+            else:
+                self._pf_stride[core] = stride
+                self._pf_conf[core] = 0
+            self._pf_last[core] = line
+        qdelay = self._l2_port(line, now)
+        l2_hit, _ = self.l2.access(line, write)
+        if l2_hit:
+            counts[L2] += 1
+            return int(self.l2_latency + qdelay), L2
+        if predicted:
+            self.stats.prefetch_covered += 1
             counts[L2] += 1
             return int(self.l2_latency + qdelay), L2
         counts[MEM] += 1
@@ -406,7 +463,7 @@ class SharedL2Hierarchy:
         log = self._warm_log
         self._warm_log = None
         return (
-            [[s.copy() for s in cache._sets] for cache in self._l1d],
+            [cache.snapshot_sets() for cache in self._l1d],
             dict(self._l1_owners),
             array("Q", log) if log is not None else array("Q"),
         )
@@ -423,12 +480,21 @@ class SharedL2Hierarchy:
         """
         l1_sets, owners, l2_log = state
         for cache, sets in zip(self._l1d, l1_sets):
-            cache._sets = [s.copy() for s in sets]
+            cache.load_sets(sets)
         self._l1_owners = dict(owners)
         l2 = self.l2
         sets = l2._sets
         n_sets = l2.n_sets
         assoc = l2.assoc
+        if not any(sets):
+            # Empty L2 (a fresh machine, the only case the warm memo is
+            # built for): the final replayed state is computable in closed
+            # form (replay.final_l2_sets); a reused machine's L2 carries
+            # live lines the closed form cannot see, so it keeps the loop.
+            fast = replay.final_l2_sets(l2_log, n_sets, assoc)
+            if fast is not None:
+                l2._sets = fast
+                return
         for packed in l2_log:
             line = packed >> 1
             sdict = sets[line % n_sets]
@@ -530,6 +596,11 @@ class SharedL2Hierarchy:
         probe.count("l2_queue_delay", stats.l2_queue_delay)
         probe.count("l2_queued_accesses", stats.l2_queued_accesses)
         probe.count("prefetch_covered", stats.prefetch_covered)
+        kc = self.kernel_counters
+        for name in ("l1_filter_hits", "l1_filter_bypass", "batched_steps"):
+            if kc[name]:
+                probe.count(name, kc[name])
+                kc[name] = 0
         if elapsed > 0:
             busy = self.l2.stats.accesses * p.l2_occupancy
             probe.gauge("l2_port_occupancy",

@@ -1,0 +1,702 @@
+"""Sweep-invariant replay kernels for the simulate phase (DESIGN.md §14).
+
+The paper's central experiment sweeps the L2 dimension while everything on
+the L1 side of the hierarchy stays fixed.  Two expensive per-run loops are
+therefore recomputing sweep-invariant work:
+
+1. **Warm-up** walks every trace's warm prefix through the private L1s.
+   With no L2->L1 feedback, each core's L1 hit/miss stream is a pure
+   function of its own reference stream, so the post-warm state can be
+   computed *vectorially* (numpy) instead of interpreting the stream
+   event by event: classify per-core L1 hits with an exact LRU law,
+   derive the final set contents/dirty bits/owner map in closed form, and
+   emit the merged L2 access log for the usual replay.  Bit-identical to
+   the interpreted warm (:func:`compute_warm_state`).
+2. **Measurement** re-filters the same per-context reference streams
+   through the same L1s at every swept L2 size.  The first run records
+   each core's L1 outcome stream; later runs with the same warm memo key
+   replay the recorded outcomes and send only the miss substream through
+   the L2/banking/queueing model (:class:`L1FilterSession`).
+
+Both kernels fall back to the untouched interpreted path — automatically
+and bit-exactly — whenever L2->L1 feedback can exist: SMP/MESI machines,
+multithreaded (lean) cores sharing an L1, cross-core write-shared lines
+(realized L1 invalidations), or a machine whose caches are not pristine.
+``REPRO_SIM_KERNELS=0`` disables them outright; the differential oracle
+(tests/test_simulate_kernel_oracle.py) pins equality both ways.
+
+Exact LRU classification law (associativity A): a line ``l`` referenced at
+position ``q`` and next at position ``p`` of a set's access subsequence is
+evicted in between **iff** at least ``A`` distinct *other* lines are
+referenced in the exclusive gap ``(q, p)`` — counting hits and misses,
+pre-existing or new.  (Each fill first evicts untouched lines older than
+``l``; the ``(u+1)``-th fill evicts ``l`` where ``u`` is the number of
+untouched pre-existing lines, and touched + untouched + 1 = A.)  For the
+2-way L1s this collapses to: *hit iff the previous occurrence is adjacent
+in the set's subsequence, or every intervening reference names one single
+other line* — one change-point cumsum per core.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less hosts
+    _np = None
+
+from .cache import CLEAN, DIRTY
+
+if _np is not None:
+    # Touch every numpy entry point the kernels use once at import time:
+    # several initialize lazily (unique's hash kernel, submodule loading
+    # behind ``np.__getattr__``), and that first-call cost must land here
+    # rather than inside a timed warm/measure phase.
+    _t = _np.arange(2, dtype=_np.int64)
+    _np.unique(_t)
+    _np.intersect1d(_t, _t, assume_unique=True)
+    _np.isin(_t, _t)
+    _np.argsort(_t, kind="stable")
+    _np.lexsort((_t, _t))
+    _np.searchsorted(_t, 1)
+    _np.maximum.reduceat(_t, _np.asarray([0]))
+    _np.maximum.accumulate(_t)
+    _np.cumsum(_t)
+    del _t
+
+#: Above this many statically write-shared lines the realized-invalidation
+#: check would simulate most sets in Python anyway — bail to the full path
+#: immediately instead (the check must stay much cheaper than what it saves).
+_MAX_SUSPECT_LINES = 512
+
+
+def kernels_enabled() -> bool:
+    """Replay kernels are on unless killed by env or numpy is missing."""
+    return _np is not None and os.environ.get("REPRO_SIM_KERNELS") != "0"
+
+
+# --------------------------------------------------------------------- #
+# Warm-phase kernel                                                      #
+# --------------------------------------------------------------------- #
+
+def warm_schedule(walkers, passes: int, chunk: int):
+    """Reproduce ``Machine._warm``'s deterministic chunk schedule.
+
+    Returns ``[(walker_idx, lo, hi), ...]`` in exactly the order the
+    interpreted loop issues ``warm_block`` calls.
+    """
+    sched = []
+    n = len(walkers)
+    for _ in range(passes):
+        cursors = [0] * n
+        pending = [w for w in range(n) if walkers[w][2] > 0]
+        while pending:
+            nxt = []
+            for w in pending:
+                warm_len = walkers[w][2]
+                pos = cursors[w]
+                end = min(pos + chunk, warm_len)
+                sched.append((w, pos, end))
+                cursors[w] = end
+                if end < warm_len:
+                    nxt.append(w)
+            pending = nxt
+    return sched
+
+
+def _classify_assoc2(lines, sets):
+    """Exact L1 hit/miss classification for one core's 2-way stream.
+
+    Args:
+        lines: int64 line indexes in time order.
+        sets: int64 set indexes (``lines % n_sets``).
+
+    Returns:
+        ``(hits, order, s_sorted, v_sorted)`` — per-event hit booleans in
+        time order, plus the stable set-sort permutation and the sorted
+        set/line columns (reused by the state construction).
+    """
+    m = len(lines)
+    order = _np.argsort(sets, kind="stable")
+    s_sorted = sets[order]
+    v = lines[order]
+    same_set = _np.empty(m, dtype=bool)
+    if m:
+        same_set[0] = False
+        same_set[1:] = s_sorted[1:] == s_sorted[:-1]
+    chg = _np.zeros(m, dtype=_np.int64)
+    if m:
+        chg[1:] = (v[1:] != v[:-1]) & same_set[1:]
+    csum = _np.cumsum(chg)
+    # Positions of each event in set-sorted coordinates; within one line's
+    # occurrence group both sorts are stable, so these stay time-ordered.
+    inv = _np.empty(m, dtype=_np.int64)
+    inv[order] = _np.arange(m)
+    lorder = _np.argsort(lines, kind="stable")
+    lv = lines[lorder]
+    lfirst = _np.empty(m, dtype=bool)
+    if m:
+        lfirst[0] = True
+        lfirst[1:] = lv[1:] != lv[:-1]
+    pset = inv[lorder]
+    prev = _np.empty(m, dtype=_np.int64)
+    if m:
+        prev[0] = -1
+        prev[1:] = pset[:-1]
+    prev[lfirst] = -1
+    has_prev = prev >= 0
+    gap1 = has_prev & (pset - prev == 1)
+    far = has_prev & ~gap1
+    hit_far = _np.zeros(m, dtype=bool)
+    if far.any():
+        # All-equal window (q, p): no change points in v[q+2 .. p-1].
+        hit_far[far] = csum[pset[far] - 1] == csum[prev[far] + 1]
+    hits_l = gap1 | hit_far
+    hits = _np.empty(m, dtype=bool)
+    hits[lorder] = hits_l
+    return hits, order, s_sorted, v, lorder, lv, lfirst, hits_l
+
+
+def _final_l1_state(n_sets, order, s_sorted, v, lorder, lv, lfirst,
+                    hits_l, writes):
+    """Closed-form final 2-way set dicts for one core.
+
+    Final contents of a set are its last two distinct lines; dict order is
+    ascending last-access time (LRU first).  A resident line is DIRTY iff
+    any write touched it at or after its last miss (= last fill).
+    """
+    m = len(v)
+    sets_out = [dict() for _ in range(n_sets)]
+    if not m:
+        return sets_out
+    # --- per-line dirty bits, in line-sorted coordinates --------------- #
+    w_l = writes[lorder]
+    idx = _np.arange(m, dtype=_np.int64)
+    # Last-miss running index: every line group starts with a miss whose
+    # index exceeds all earlier values, so a flat accumulate self-resets.
+    lm = _np.where(~hits_l, idx, _np.int64(-1))
+    run = _np.maximum.accumulate(lm)
+    wc = _np.cumsum(w_l)
+    gends = _np.append(_np.flatnonzero(lfirst)[1:], m) - 1
+    f = run[gends]
+    base = _np.where(f > 0, wc[_np.maximum(f - 1, 0)], 0)
+    gdirty = (wc[gends] - base) > 0
+    glines = lv[gends]  # ascending, unique
+
+    def dirty_of(arr):
+        return gdirty[_np.searchsorted(glines, arr)]
+
+    # --- per-set residents, in set-sorted coordinates ------------------ #
+    first = _np.empty(m, dtype=bool)
+    first[0] = True
+    first[1:] = s_sorted[1:] != s_sorted[:-1]
+    starts = _np.flatnonzero(first)
+    ends = _np.append(starts[1:], m) - 1
+    chg_pos = _np.flatnonzero(
+        _np.concatenate(([False], (v[1:] != v[:-1]) & ~first[1:])))
+    mru = v[ends]
+    if len(chg_pos):
+        jpos = _np.searchsorted(chg_pos, ends, side="right") - 1
+        safe = _np.maximum(jpos, 0)
+        # chg positions sit strictly inside a set's contiguous region, so
+        # the last change belongs to *this* set iff it lies past the set's
+        # start.
+        has2 = (jpos >= 0) & (chg_pos[safe] > starts)
+        second = v[_np.maximum(chg_pos[safe] - 1, 0)]
+    else:
+        # Every set only ever saw one distinct line: single resident each.
+        has2 = _np.zeros(len(starts), dtype=bool)
+        second = mru
+    mru_dirty = dirty_of(mru)
+    second_dirty = dirty_of(second)
+
+    set_ids = s_sorted[starts].tolist()
+    mru_t = mru.tolist()
+    second_t = second.tolist()
+    has2_t = has2.tolist()
+    md_t = mru_dirty.tolist()
+    sd_t = second_dirty.tolist()
+    for k, sid in enumerate(set_ids):
+        d = sets_out[sid]
+        if has2_t[k]:
+            d[second_t[k]] = DIRTY if sd_t[k] else CLEAN
+        d[mru_t[k]] = DIRTY if md_t[k] else CLEAN
+    return sets_out
+
+
+def _realized_invalidations(per_core, suspects, n_sets, assoc):
+    """Check whether any modeled L1 invalidation would actually fire.
+
+    ``warm_block`` invalidates sibling copies only on a *write miss* to a
+    line whose owner bits show a sibling resident — and the owner map
+    tracks residency exactly.  So the kernel result is exact iff no core
+    write-misses a suspect line while that line is resident in another
+    core's L1.  Residency intervals are computed with tiny per-set Python
+    sims of the suspect sets only, in global stream positions; since the
+    first modeled invalidation coincides with the first real one, the
+    check is sound in both directions.
+    """
+    suspect_sets = {line % n_sets for line in suspects}
+    intervals: dict[int, dict[int, list]] = {}   # line -> core -> [s, e]*
+    wmiss = []                                   # (gpos, core, line)
+    for core, (lines, writes, gpos, _hits) in per_core.items():
+        sets_arr = lines % n_sets
+        mask = _np.isin(sets_arr, _np.fromiter(
+            suspect_sets, dtype=_np.int64, count=len(suspect_sets)))
+        if not mask.any():
+            continue
+        sub_lines = lines[mask].tolist()
+        sub_writes = writes[mask].tolist()
+        sub_gpos = gpos[mask].tolist()
+        cache: dict[int, dict[int, int]] = {s: {} for s in suspect_sets}
+        for line, wr, g in zip(sub_lines, sub_writes, sub_gpos):
+            sdict = cache[line % n_sets]
+            if line in sdict:
+                del sdict[line]
+                sdict[line] = 0
+                continue
+            if wr and line in suspects:
+                wmiss.append((g, core, line))
+            if len(sdict) >= assoc:
+                vline = next(iter(sdict))
+                del sdict[vline]
+                if vline in suspects:
+                    intervals[vline][core][-1][1] = g
+            sdict[line] = 0
+            if line in suspects:
+                intervals.setdefault(line, {}).setdefault(
+                    core, []).append([g, None])
+    for g, core, line in wmiss:
+        for other, spans in intervals.get(line, {}).items():
+            if other == core:
+                continue
+            for s, e in spans:
+                if s < g and (e is None or g < e):
+                    return True
+    return False
+
+
+def shared_suspects(core_traces) -> set[int] | None:
+    """Statically write-shared lines across cores, from memoized per-trace
+    line sets; ``None`` when sets are unavailable or the suspect count
+    exceeds :data:`_MAX_SUSPECT_LINES` (caller falls back).
+    """
+    acc = {}
+    wr = {}
+    for core_id, traces in core_traces.items():
+        a_parts = []
+        w_parts = []
+        for tr in traces:
+            ls = tr.line_sets()
+            if ls is None:
+                return None
+            a_parts.append(ls[0])
+            w_parts.append(ls[1])
+        acc[core_id] = (a_parts[0] if len(a_parts) == 1
+                        else _np.unique(_np.concatenate(a_parts)))
+        wr[core_id] = (w_parts[0] if len(w_parts) == 1
+                       else _np.unique(_np.concatenate(w_parts)))
+    suspects: set[int] = set()
+    for a, wlines in wr.items():
+        if not len(wlines):
+            continue
+        for b, alines in acc.items():
+            if a == b or not len(alines):
+                continue
+            shared = _np.intersect1d(wlines, alines, assume_unique=True)
+            if len(shared):
+                suspects.update(shared.tolist())
+                if len(suspects) > _MAX_SUSPECT_LINES:
+                    return None
+    return suspects
+
+
+def compute_warm_state(hier, walkers, passes: int, chunk: int):
+    """Vectorized equivalent of the interpreted warm loop.
+
+    Returns ``(state, suspects)`` where ``state`` is the ``(l1_sets,
+    owners, l2_log)`` tuple exactly as
+    :meth:`SharedL2Hierarchy.capture_warm_state` would produce after the
+    full walk and ``suspects`` is the static write-shared line set (for
+    the entry's measure filter; may be None), or ``None`` when the kernel
+    cannot guarantee bit-exactness (kill switch, no numpy, non-2-way
+    L1s, non-pristine machine, missing derived columns, or a realized
+    cross-core invalidation).
+    """
+    if not kernels_enabled():
+        return None
+    p = hier.params
+    if p.l1_assoc != 2:
+        return None
+    l1d = hier._l1d
+    if hier._l1_owners or any(s for c in l1d for s in c._sets):
+        return None  # reused machine: warm continues from live state
+    if any(s for s in hier.l2._sets):
+        return None
+    sched = warm_schedule(walkers, passes, chunk)
+    n_sets = l1d[0].n_sets
+    empty_state = ([[dict() for _ in range(n_sets)] for _ in l1d],
+                   {}, array("Q"))
+    if not sched:
+        return empty_state, None
+    parts = []
+    part_core = []
+    part_len = []
+    for w, lo, hi in sched:
+        core_id, tr, _ = walkers[w]
+        lw = tr.kernel_cols()[0]
+        if lw is None:
+            return None
+        parts.append(lw[lo:hi])
+        part_core.append(core_id)
+        part_len.append(hi - lo)
+    glw = _np.concatenate(parts)
+    gcore = _np.repeat(_np.asarray(part_core, dtype=_np.int64),
+                       _np.asarray(part_len, dtype=_np.int64))
+
+    per_core = {}
+    for core_id in range(p.n_cores):
+        gidx = _np.flatnonzero(gcore == core_id)
+        if not len(gidx):
+            continue
+        lw_c = glw[gidx]
+        lines = (lw_c >> _np.uint64(1)).astype(_np.int64)
+        writes = (lw_c & _np.uint64(1)).astype(_np.int64)
+        per_core[core_id] = (lines, writes, gidx, None)
+
+    # Statically write-shared lines: some core writes, another accesses.
+    # The per-trace line sets cover the *full* traces, a superset of the
+    # warm prefixes — conservative (can only over-suspect, never miss),
+    # and exactly the set the entry's measure filter needs (every walker
+    # counts, even zero-warm-length ones the measure phase still runs).
+    core_traces: dict[int, list] = {}
+    for core_id, tr, _warm_len in walkers:
+        core_traces.setdefault(core_id, []).append(tr)
+    suspects = shared_suspects(core_traces)
+    if suspects is None:
+        return None
+    if suspects and _realized_invalidations(
+            per_core, suspects, n_sets, 2):
+        return None
+
+    l1_sets = [[dict() for _ in range(n_sets)] for _ in l1d]
+    owners: dict[int, int] = {}
+    miss_gpos = []
+    miss_lw = []
+    for core_id, (lines, writes, gidx, _) in per_core.items():
+        sets_arr = lines % n_sets
+        (hits, order, s_sorted, v, lorder, lv, lfirst,
+         hits_l) = _classify_assoc2(lines, sets_arr)
+        l1_sets[core_id] = _final_l1_state(
+            n_sets, order, s_sorted, v, lorder, lv, lfirst, hits_l, writes)
+        bit = 1 << core_id
+        for d in l1_sets[core_id]:
+            for line in d:
+                owners[line] = owners.get(line, 0) | bit
+        miss_mask = ~hits
+        miss_gpos.append(gidx[miss_mask])
+        miss_lw.append(glw[gidx[miss_mask]])
+    if miss_gpos:
+        all_gpos = _np.concatenate(miss_gpos)
+        all_lw = _np.concatenate(miss_lw)
+        log_sorted = all_lw[_np.argsort(all_gpos, kind="stable")]
+        log = array("Q")
+        log.frombytes(log_sorted.tobytes())
+    else:
+        log = array("Q")
+    return (l1_sets, owners, log), suspects
+
+
+# --------------------------------------------------------------------- #
+# L2 log replay kernel                                                   #
+# --------------------------------------------------------------------- #
+
+#: Cap on summed window-slice work inside :func:`final_l2_sets`' dirty-bit
+#: queries; past it the closed form would cost more than the loop it
+#: replaces, so bail to the interpreted replay (bit-exact either way).
+_MAX_QUERY_WORK = 1 << 22
+
+
+def final_l2_sets(log, n_sets: int, assoc: int):
+    """Exact final set dicts after replaying ``log`` from an empty cache.
+
+    The final state of a true-LRU set is history-free: its contents are
+    the last ``assoc`` distinct lines it saw, dict-ordered by last touch
+    (LRU first).  Dirty bits need hit/miss classification only where a
+    resident line's *last* write precedes later reads: the line is DIRTY
+    iff every such trailing read is a hit (otherwise the last fill
+    happened after the last write and filled CLEAN).  Each trailing read
+    is classified exactly with the gap law in the module docstring —
+    ``#distinct other lines in (q, p) < assoc`` — evaluated as one numpy
+    count over the set's window.
+
+    Returns ``None`` (caller runs the interpreted replay) when kernels
+    are off or the dirty-bit queries would outweigh the loop.
+    """
+    if not kernels_enabled():
+        return None
+    m = len(log)
+    sets_out = [dict() for _ in range(n_sets)]
+    if not m:
+        return sets_out
+    glog = _np.frombuffer(log, dtype=_np.uint64)
+    lines = (glog >> _np.uint64(1)).astype(_np.int64)
+    writes = (glog & _np.uint64(1)).astype(_np.int64)
+    s = lines % n_sets
+
+    # --- per-distinct-line stats, in line-sorted coordinates ----------- #
+    lorder = _np.argsort(lines, kind="stable")
+    lv = lines[lorder]
+    lfirst = _np.empty(m, dtype=bool)
+    lfirst[0] = True
+    lfirst[1:] = lv[1:] != lv[:-1]
+    gstarts = _np.flatnonzero(lfirst)
+    gends = _np.append(gstarts[1:], m) - 1
+    glines = lv[gends]
+    lastpos = lorder[gends]           # stable sort keeps time order
+    w_l = writes[lorder]
+    lastw = _np.maximum.reduceat(
+        _np.where(w_l == 1, lorder, _np.int64(-1)), gstarts)
+
+    # --- residents: last `assoc` distinct lines per set ---------------- #
+    gset = glines % n_sets
+    rorder = _np.lexsort((lastpos, gset))
+    rs = gset[rorder]
+    nr = len(rs)
+    rfirst = _np.empty(nr, dtype=bool)
+    rfirst[0] = True
+    rfirst[1:] = rs[1:] != rs[:-1]
+    rstarts = _np.flatnonzero(rfirst)
+    rends = _np.append(rstarts[1:], nr)
+    gidx = _np.cumsum(rfirst) - 1
+    keep = _np.arange(nr) >= (rends[gidx] - assoc)
+    res = rorder[keep]                # per set: LRU -> MRU order
+    res_sets = rs[keep].tolist()
+    res_lines = glines[res].tolist()
+
+    # Everything below classifies only the residents — the lines whose
+    # dirty bit actually survives into the final state.  Two cases are
+    # immediate: never written -> CLEAN, last event is the write ->
+    # DIRTY.  Only the remainder (a write with trailing reads) needs the
+    # window-query machinery, so it is built lazily.
+    lastw_r = lastw[res]
+    states = _np.where(lastw_r == lastpos[res], DIRTY, CLEAN).tolist()
+    ambiguous = _np.flatnonzero((lastw_r >= 0) & (lastw_r != lastpos[res]))
+
+    if len(ambiguous):
+        # Set-sorted stream with per-event previous-occurrence
+        # positions: an event is the first reference to its line inside
+        # a window (q, p) iff its previous occurrence sits at or
+        # before q.
+        sorder = _np.argsort(s, kind="stable")
+        inv_s = _np.empty(m, dtype=_np.int64)
+        inv_s[sorder] = _np.arange(m)
+        pset = inv_s[lorder]
+        prev_l = _np.empty(m, dtype=_np.int64)
+        prev_l[0] = -1
+        prev_l[1:] = pset[:-1]
+        prev_l[lfirst] = -1
+        prev_ss = _np.empty(m, dtype=_np.int64)
+        prev_ss[pset] = prev_l
+        budget = _MAX_QUERY_WORK
+        for i in ambiguous.tolist():
+            g = int(res[i])
+            lw_ = int(lastw[g])
+            gs, ge = int(gstarts[g]), int(gends[g])
+            # Trailing reads after the last write: dirty iff all hit.
+            start = gs + int(_np.searchsorted(
+                lorder[gs:ge + 1], lw_, side="right"))
+            state = DIRTY
+            for j in range(start, ge + 1):
+                q = prev_l[j]
+                ps = pset[j]
+                wlen = ps - q - 1
+                if wlen < assoc:
+                    continue  # cannot have `assoc` distinct others: hit
+                budget -= wlen
+                if budget < 0:
+                    return None
+                if int(_np.count_nonzero(prev_ss[q + 1:ps] <= q)) >= assoc:
+                    state = CLEAN  # a trailing read missed: refilled clean
+                    break
+            states[i] = state
+
+    for sid, line, state in zip(res_sets, res_lines, states):
+        sets_out[sid][line] = state
+    return sets_out
+
+
+# --------------------------------------------------------------------- #
+# Measure-phase L1 filter                                                #
+# --------------------------------------------------------------------- #
+
+class WarmEntry:
+    """One warm-memo entry: state snapshot plus the measure recordings.
+
+    ``recordings[core]`` is a packed outcome stream ``line << 2 |
+    write << 1 | hit`` of the core's measured data accesses, appended
+    while runs execute the full path and replayed by later runs with the
+    same memo key.  ``sealed`` flips permanently once a suspect (cross-
+    core write-shared) line is touched: recorded prefixes stay valid —
+    every access strictly before the seal point ran interference-free —
+    but nothing may extend past it.
+    """
+
+    __slots__ = ("state", "traces", "recordings", "suspects", "sealed",
+                 "blocked")
+
+    def __init__(self, state, traces, suspects=None):
+        self.state = state
+        self.traces = traces
+        self.recordings = None
+        self.suspects = frozenset(suspects) if suspects is not None else None
+        self.sealed = False
+        self.blocked = False
+
+    def ensure_filter(self, n_cores: int, core_traces) -> bool:
+        """Lazily build recordings + suspect set; False if ineligible.
+
+        Ineligibility (too many statically write-shared lines for the
+        filter to possibly stay engaged) is a property of the traces, so
+        it is remembered: later runs over the same entry skip the
+        sharing analysis instead of re-deriving the same bail-out.
+        """
+        if self.blocked:
+            return False
+        if self.recordings is None:
+            if _np is None:
+                return False
+            if self.suspects is None:
+                suspects = shared_suspects(core_traces)
+                if suspects is None:
+                    self.blocked = True
+                    return False
+                self.suspects = frozenset(suspects)
+            self.recordings = [array("Q") for _ in range(n_cores)]
+        return True
+
+
+class L1FilterSession:
+    """Per-run driver of the recorded L1 outcome streams.
+
+    Attached to a :class:`SharedL2Hierarchy` for the measurement window of
+    one eligible run (single-context cores, shared L2, kernels on).  Each
+    core is either *bypassing* — its accesses answered from the recording,
+    no L1/owner maintenance — or on the *full* path, optionally extending
+    its recording.  Any access to a suspect line, by any core, first
+    break-glasses every bypassing core back to exact state (reconstructed
+    by replaying its recorded prefix over the post-warm snapshot) and
+    seals the entry; recording exhaustion break-glasses the same way.
+    Mixed bypass/full states are safe because, with no suspect line
+    touched, no full-path access can read or invalidate a stale sibling
+    entry in any way that changes an outcome (DESIGN.md §14).
+    """
+
+    __slots__ = ("entry", "hier", "bypass", "extend", "cnt",
+                 "l1_filter_hits", "l1_filter_bypass")
+
+    def __init__(self, entry: WarmEntry, hier):
+        self.entry = entry
+        self.hier = hier
+        n = len(entry.recordings)
+        sealed = entry.sealed
+        self.cnt = [0] * n
+        self.bypass = [len(entry.recordings[c]) > 0 for c in range(n)]
+        # A core may extend its recording only while appends stay
+        # contiguous with the recorded prefix and the entry is unsealed.
+        self.extend = [not sealed] * n
+        self.l1_filter_hits = 0
+        self.l1_filter_bypass = 0
+
+    def active(self) -> bool:
+        return any(self.bypass) or any(self.extend)
+
+    # -- full-path hooks (called from SharedL2Hierarchy.data_access) ---- #
+
+    def pre(self, core: int, line: int, write: bool, now: float):
+        """Intercept one access; returns ``(latency, level)`` if served."""
+        if line in self.entry.suspects:
+            if not self.entry.sealed:
+                self.entry.sealed = True
+            self._break_glass()
+            return None
+        if not self.bypass[core]:
+            return None
+        i = self.cnt[core]
+        rec = self.entry.recordings[core]
+        if i >= len(rec) or (rec[i] >> 2) != line:
+            # Exhausted (or a determinism violation, which the oracle
+            # suite would catch): rebuild this core and run fully.
+            self._exit_core(core)
+            self._rebuild_owners()
+            self.l1_filter_bypass += 1
+            return None
+        self.cnt[core] = i + 1
+        hier = self.hier
+        stats = hier.stats
+        stats.data_accesses += 1
+        l1 = hier._l1d[core]
+        if rec[i] & 1:
+            stats.data_level_counts[0] += 1
+            l1.stats.hits += 1
+            self.l1_filter_hits += 1
+            return hier.params.l1_latency, 0
+        l1.stats.misses += 1
+        return hier.filtered_miss(core, line, write, now,
+                                  stats.data_level_counts)
+
+    def post(self, core: int, line: int, write: bool, hit: bool) -> None:
+        """Record a full-path outcome (only while extension is legal)."""
+        if self.extend[core]:
+            rec = self.entry.recordings[core]
+            if self.cnt[core] == len(rec) and not self.entry.sealed:
+                rec.append(line << 2 | write << 1 | hit)
+                self.cnt[core] += 1
+            else:
+                self.extend[core] = False
+
+    # -- break-glass machinery ----------------------------------------- #
+
+    def _exit_core(self, core: int) -> None:
+        """Reconstruct the core's exact L1 by replaying its prefix."""
+        self.bypass[core] = False
+        base = self.entry.state[0][core]
+        sets = [d.copy() for d in base]
+        n_sets = len(sets)
+        rec = self.entry.recordings[core]
+        for k in range(self.cnt[core]):
+            packed = rec[k]
+            line = packed >> 2
+            sdict = sets[line % n_sets]
+            state = sdict.pop(line, -1)
+            if state >= 0:
+                sdict[line] = DIRTY if packed & 2 else state
+                continue
+            if len(sdict) >= 2:
+                del sdict[next(iter(sdict))]
+            sdict[line] = DIRTY if packed & 2 else CLEAN
+        self.hier._l1d[core].load_sets(sets, copy=False)
+
+    def _rebuild_owners(self) -> None:
+        owners: dict[int, int] = {}
+        for core_id, cache in enumerate(self.hier._l1d):
+            bit = 1 << core_id
+            for d in cache._sets:
+                for line in d:
+                    owners[line] = owners.get(line, 0) | bit
+        self.hier._l1_owners = owners
+
+    def _break_glass(self) -> None:
+        """Return every bypassing core to exact state (suspect touched)."""
+        fired = False
+        for core, by in enumerate(self.bypass):
+            if by:
+                self._exit_core(core)
+                fired = True
+        for core in range(len(self.extend)):
+            self.extend[core] = False
+        if fired:
+            self._rebuild_owners()
+            self.l1_filter_bypass += 1

@@ -299,4 +299,4 @@ def test_cli_and_standalone_entry_points(clean_env, tmp_path, capsys):
 
 
 def test_default_out_is_repo_root_snapshot():
-    assert bench.DEFAULT_OUT == "BENCH_PR6.json"
+    assert bench.DEFAULT_OUT == "BENCH_PR9.json"
