@@ -32,6 +32,13 @@ Analytical model + design-space explorer (see DESIGN.md §10)::
     python -m repro explore                           # prune-then-confirm
     python -m repro explore --quick --jobs 4          # CI smoke budget
 
+Hardware islands (see DESIGN.md §15)::
+
+    python -m repro sweep --sockets 2                 # placement study
+    python -m repro sweep --sockets 2 --placement island-partitioned
+    python -m repro explore --islands                 # sockets x placement
+    python -m repro --scale 0.05 explore --islands --quick
+
 Design-space-as-a-service (see DESIGN.md §12)::
 
     python -m repro serve                             # TCP JSON-lines API
@@ -145,16 +152,24 @@ def run_stats(target: str) -> int:
     if contention["points"]:
         print()
         print(telemetry.format_contention_summary(contention))
+    islands = telemetry.summarize_islands(events)
+    if islands["points"]:
+        print()
+        print(telemetry.format_islands_summary(islands))
     return 0
 
 
 def run_sweep_cmd(args) -> int:
-    """The ``repro sweep`` target: the contention study.
+    """The ``repro sweep`` target: contention or islands study.
 
-    Runs the (theta x cc_mode) grid — skewed traces through the
-    simulator plus the logical CC executor per point — and prints the
-    attribution tables (see ``repro.core.figures.contention``).
+    By default runs the (theta x cc_mode) contention grid — skewed
+    traces through the simulator plus the logical CC executor per
+    point.  With ``--sockets`` (or ``--placement``) it runs the
+    hardware-islands placement study instead
+    (see ``repro.core.figures.islands``).
     """
+    if args.sockets is not None or args.placement is not None:
+        return run_islands_sweep_cmd(args)
     thetas = tuple(args.skew_theta) if args.skew_theta else None
     cc_modes = (("2pl", "partitioned") if args.cc_mode == "both"
                 else (args.cc_mode,))
@@ -175,6 +190,33 @@ def run_sweep_cmd(args) -> int:
         print(f"sweep: invalid parameters — {err}", file=sys.stderr)
         return 2
     print(_banner(f"contention sweep  (scale {exp.scale:g}, "
+                  f"{time.time() - start:.1f}s)"))
+    print(text)
+    _print_cache_stats(exp)
+    return 0
+
+
+def run_islands_sweep_cmd(args) -> int:
+    """The ``repro sweep --sockets/--placement`` target: the
+    hardware-islands placement study
+    (see ``repro.core.figures.islands``)."""
+    from .simulator.topology import PLACEMENTS
+
+    sockets = args.sockets if args.sockets is not None else 2
+    placements = ((args.placement,) if args.placement is not None
+                  else PLACEMENTS)
+    exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
+                     use_cache=not args.no_cache)
+    start = time.time()
+    try:
+        text = figures.islands(exp, sockets=sockets, placements=placements)
+    except SweepError as err:
+        print(f"sweep: failed — {err}", file=sys.stderr)
+        return 1
+    except ValueError as err:
+        print(f"sweep: invalid parameters — {err}", file=sys.stderr)
+        return 2
+    print(_banner(f"islands sweep  (scale {exp.scale:g}, "
                   f"{time.time() - start:.1f}s)"))
     print(text)
     _print_cache_stats(exp)
@@ -244,10 +286,38 @@ def run_explore_cmd(args) -> int:
     within the bound — so CI can smoke-test the whole subsystem with a
     single invocation.
     """
-    from .explore import explore, format_explore
+    from .explore import explore, explore_islands, format_explore, \
+        format_islands
 
     exp = Experiment(scale=args.scale, cache_dir=args.cache_dir,
                      use_cache=not args.no_cache)
+    if args.islands:
+        sockets = (args.sockets,) if args.sockets is not None else None
+        placements = ((args.placement,) if args.placement is not None
+                      else None)
+        try:
+            kwargs = {}
+            if placements is not None:
+                kwargs["placements"] = placements
+            report = explore_islands(exp, budget_mm2=args.budget,
+                                     sockets=sockets, quick=args.quick,
+                                     **kwargs)
+        except SweepError as err:
+            print(f"explore: sweep failed — {err}", file=sys.stderr)
+            return 1
+        except ValueError as err:
+            print(f"explore: invalid parameters — {err}", file=sys.stderr)
+            return 2
+        print(format_islands(report))
+        _print_cache_stats(exp)
+        ok = (bool(report.confirmed)
+              and report.all_checks_pass
+              and report.within_bound)
+        if not ok:
+            print("explore: island confirmation failed (no confirmed "
+                  "cells, a qualitative check, or the screening error "
+                  "bound)", file=sys.stderr)
+        return 0 if ok else 1
     try:
         report = explore(exp, budget_mm2=args.budget, quick=args.quick)
     except SweepError as err:
@@ -434,6 +504,21 @@ def main(argv: list[str] | None = None) -> int:
                         default="both",
                         help="with 'sweep': concurrency-control mode(s) "
                              "to run (default: both)")
+    parser.add_argument("--sockets", type=int, default=None,
+                        help="with 'sweep': run the hardware-islands "
+                             "placement study on N sockets instead of the "
+                             "contention grid; with 'explore --islands': "
+                             "restrict to this socket count")
+    parser.add_argument("--placement", default=None,
+                        choices=["shared-everything", "island-partitioned",
+                                 "hybrid"],
+                        help="with 'sweep --sockets' or 'explore "
+                             "--islands': restrict to one placement "
+                             "policy (default: all three)")
+    parser.add_argument("--islands", action="store_true",
+                        help="with 'explore': run the sockets x placement "
+                             "island exploration (anchored screening; "
+                             "see --sockets/--placement)")
     parser.add_argument("targets", nargs="*", default=["list"],
                         help="figure names, 'all', 'list', 'validate', "
                              "'profile <oltp|dss>', 'stats <telemetry>', "
@@ -478,11 +563,11 @@ def main(argv: list[str] | None = None) -> int:
         print("  stats <telemetry-dir-or-.jsonl>")
         print("  bench      (perf-regression snapshot; see --quick)")
         print("  explore    (equal-area design-space exploration; "
-              "see --quick/--budget)")
+              "see --quick/--budget/--islands)")
         print("  serve      (async design-query service; "
               "see --host/--port/--self-test)")
-        print("  sweep      (contention study; see --skew-theta/"
-              "--hot-warehouses/--cross-rate/--cc-mode)")
+        print("  sweep      (contention study, or the islands study "
+              "with --sockets/--placement)")
         print("  model <fit|predict|validate>   (analytical model)")
         return 0
     if targets[0] == "profile":
@@ -516,12 +601,14 @@ def main(argv: list[str] | None = None) -> int:
         if len(targets) != 1:
             print("usage: repro sweep [--skew-theta THETA ...] "
                   "[--hot-warehouses N] [--cross-rate P] "
-                  "[--cc-mode 2pl|partitioned|both]", file=sys.stderr)
+                  "[--cc-mode 2pl|partitioned|both] "
+                  "[--sockets N [--placement P]]", file=sys.stderr)
             return 2
         return run_sweep_cmd(args)
     if targets[0] == "explore":
         if len(targets) != 1:
-            print("usage: repro explore [--quick] [--budget MM2]",
+            print("usage: repro explore [--quick] [--budget MM2] "
+                  "[--islands [--sockets N] [--placement P]]",
                   file=sys.stderr)
             return 2
         return run_explore_cmd(args)

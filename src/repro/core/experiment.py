@@ -167,13 +167,19 @@ class Experiment:
 
     def run(self, config: MachineConfig, kind: str,
             regime: str = "saturated", n_clients: int | None = None,
-            measure_cycles: float | None = None) -> MachineResult:
+            measure_cycles: float | None = None, *,
+            topology=None,
+            placement: str = "shared-everything") -> MachineResult:
         """Run (or recall) a throughput/response measurement.
 
         Unsaturated regimes run in response mode (the paper's metric for
-        them); saturated regimes in throughput mode.
+        them); saturated regimes in throughput mode.  ``topology`` and
+        ``placement`` opt a measurement into a hardware-islands machine
+        (see :class:`repro.core.parallel.RunSpec`); the defaults keep
+        the pre-island behaviour and cache keys.
         """
-        spec = RunSpec(config, kind, regime, n_clients, measure_cycles)
+        spec = RunSpec(config, kind, regime, n_clients, measure_cycles,
+                       topology=topology, placement=placement)
         key = spec.key(self.scale, self.measure_cycles)
         cached = self._lookup(key)
         if cached is not None:

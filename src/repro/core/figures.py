@@ -46,7 +46,9 @@ from .sweeps import (
     client_count_sweep,
     contention_sweep,
     core_count_sweep,
+    islands_sweep,
 )
+from ..simulator.topology import PLACEMENTS
 from .taxonomy import Camp, grid, table1
 from .validation import OPENPOWER720_DSS_CPI, validate
 
@@ -499,4 +501,61 @@ def contention(exp, thetas: tuple[float, ...] = CONTENTION_THETAS,
             f"{cc_mode}: lock-wait {lw[0]:.0%} -> {lw[-1]:.0%}, "
             f"abort rate {ab[0]:.3f} -> {ab[-1]:.3f} "
             f"across theta {series[0].theta:g}..{series[-1].theta:g}")
+    return "\n\n".join(parts + ["\n".join(trends)])
+
+
+def islands(exp, sockets: int = 2,
+            placements: tuple[str, ...] = PLACEMENTS,
+            kinds: tuple[str, ...] = ("oltp", "dss"),
+            remote_l2_latency: float = 3.0,
+            remote_mem_latency: float = 1.5) -> str:
+    """Hardware-islands study: what each deployment placement costs.
+
+    Another dimension the paper never measured (it assumed one chip):
+    on a multi-socket machine whose cross-socket L2/memory paths cost a
+    multiple of the local ones, the placement of clients and data
+    decides how much of the single-chip throughput survives.  One table
+    per workload kind, rows over (camp, placement), showing throughput
+    retained against the same chip at one socket and the remote-traffic
+    fractions each placement paid (Porobic et al., PAPERS.md).
+    """
+    points = islands_sweep(
+        exp, sockets=sockets, placements=placements, kinds=kinds,
+        remote_l2_latency=remote_l2_latency,
+        remote_mem_latency=remote_mem_latency)
+    parts = []
+    for kind in kinds:
+        rows = []
+        for p in points:
+            if p.kind != kind:
+                continue
+            hs = p.result.hier_stats
+            rows.append([
+                p.camp.upper(),
+                p.placement,
+                f"{p.result.ipc:.2f}",
+                f"{p.baseline.ipc:.2f}",
+                f"{p.rel_ipc:.0%}",
+                f"{p.remote_fraction:.0%}",
+                f"{hs.remote_l1x}",
+            ])
+        parts.append(format_table(
+            ["camp", "placement", "IPC", "1s IPC", "retained", "remote",
+             "remote L1X"],
+            rows,
+            title=f"Hardware islands — {kind} at {sockets} sockets "
+                  f"(remote L2 x{remote_l2_latency:g}, "
+                  f"mem x{remote_mem_latency:g})",
+        ))
+    trends = []
+    for kind in kinds:
+        series = [p for p in points if p.kind == kind]
+        if not series:
+            continue
+        best = max(series, key=lambda p: p.rel_ipc)
+        worst = min(series, key=lambda p: p.rel_ipc)
+        trends.append(
+            f"{kind}: best placement {best.placement} ({best.camp}) "
+            f"retains {best.rel_ipc:.0%}; worst {worst.placement} "
+            f"({worst.camp}) retains {worst.rel_ipc:.0%}")
     return "\n\n".join(parts + ["\n".join(trends)])

@@ -55,7 +55,7 @@ import multiprocessing
 from collections import deque
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, fields, replace
 from multiprocessing import shared_memory
 
 try:
@@ -71,6 +71,12 @@ from ..simulator.machine import (
 )
 from ..simulator.profiling import NULL_PROBE, RunProbe
 from ..simulator.replay import kernels_enabled
+from ..simulator.topology import (
+    DEFAULT_PLACEMENT,
+    IslandTopology,
+    as_topology,
+    validate_placement,
+)
 from ..simulator.trace import CodeFootprint, Trace, Workload
 from ..workloads import driver as _driver
 from ..workloads.contention import SkewSpec, as_skew
@@ -128,6 +134,12 @@ def config_key(config: MachineConfig) -> tuple:
         for f in fields(config.hierarchy)
     )
     key = (config.name, config.core, hier, config.smp)
+    # Single-socket configs keep the exact pre-island key shape so
+    # existing on-disk cache entries still hit; active topologies append
+    # an islands component.
+    topo = getattr(config, "topology", None)
+    if topo is not None and topo.active:
+        key += (topo.key(),)
     try:
         hash(key)
     except TypeError as exc:
@@ -163,6 +175,13 @@ class RunSpec:
             the uniform benchmark distributions.  OLTP only.
         cc_mode: Concurrency-control mode (``"2pl"`` or
             ``"partitioned"``).  OLTP only.
+        topology: Optional hardware-islands topology override
+            (:class:`repro.simulator.topology.IslandTopology` or an int
+            socket count); None uses whatever topology the config
+            carries.  Applied onto the config at execution time.
+        placement: Deployment placement on islands machines
+            (:data:`repro.simulator.topology.PLACEMENTS`); only the
+            default ``shared-everything`` is legal single-socket.
     """
 
     config: MachineConfig
@@ -172,6 +191,8 @@ class RunSpec:
     measure_cycles: float | None = None
     skew: SkewSpec | None = None
     cc_mode: str = "2pl"
+    topology: IslandTopology | None = None
+    placement: str = DEFAULT_PLACEMENT
 
     def __post_init__(self):
         if self.kind not in WARM_FRACTIONS:
@@ -193,6 +214,43 @@ class RunSpec:
         if (skew.active or self.cc_mode != "2pl") and self.kind != "oltp":
             raise ValueError(
                 "skew/cc_mode apply to kind='oltp' only")
+        # Eager islands validation, mirroring the contention gating above:
+        # bad topologies/placements fail at construction.  as_topology
+        # re-runs IslandTopology's range checks; the geometry checks
+        # catch per-island core/bank counts that do not tile the chip.
+        validate_placement(self.placement)
+        topo = self.resolved_topology
+        if topo is not None and topo.active:
+            if self.config.smp:
+                raise ValueError(
+                    "islands topologies apply to shared-L2 CMP machines, "
+                    "not smp")
+            topo.island_cores(self.config.hierarchy.n_cores)
+            topo.island_banks(self.config.hierarchy.l2_banks)
+        elif self.placement != DEFAULT_PLACEMENT:
+            raise ValueError(
+                f"placement {self.placement!r} requires a multi-socket "
+                "topology")
+
+    @property
+    def resolved_topology(self) -> IslandTopology | None:
+        """The effective topology: the spec override, else the config's."""
+        topo = as_topology(self.topology)
+        return topo if topo is not None \
+            else getattr(self.config, "topology", None)
+
+    @property
+    def islands(self) -> bool:
+        """True when this spec runs on a multi-socket islands machine."""
+        topo = self.resolved_topology
+        return topo is not None and topo.active
+
+    def resolved_config(self) -> MachineConfig:
+        """The config to simulate, with any topology override applied."""
+        topo = as_topology(self.topology)
+        if topo is None or self.config.topology == topo:
+            return self.config
+        return replace(self.config, topology=topo)
 
     @property
     def contended(self) -> bool:
@@ -215,11 +273,16 @@ class RunSpec:
         shape so existing on-disk cache entries still hit; opted-in
         specs append a contention suffix.
         """
-        key = (config_key(self.config), self.kind, self.regime,
+        key = (config_key(self.resolved_config()), self.kind, self.regime,
                self.n_clients, self.mode,
                self.resolved_cycles(default_cycles), scale)
         if self.contended:
             key += (("contention", as_skew(self.skew).key(), self.cc_mode),)
+        if self.islands:
+            # Only multi-socket specs grow an islands suffix; the
+            # topology itself is already in the config key, so this
+            # records the placement dimension.
+            key += (("islands", self.placement),)
         return key
 
 
@@ -237,14 +300,15 @@ def execute(spec: RunSpec, scale: float,
     """
     workload = workload_for(spec.kind, spec.regime, scale,
                             n_clients=spec.n_clients, skew=spec.skew,
-                            cc_mode=spec.cc_mode)
-    machine = Machine(spec.config)
+                            cc_mode=spec.cc_mode, placement=spec.placement)
+    machine = Machine(spec.resolved_config())
     return machine.run(
         workload,
         mode=spec.mode,
         measure_cycles=spec.resolved_cycles(default_cycles),
         warm_fraction=WARM_FRACTIONS[spec.kind],
         probe=probe,
+        placement=spec.placement,
     )
 
 
@@ -356,7 +420,10 @@ def prebuild_workloads(specs, scale: float, indices=None) -> int:
                 tr.kernel_cols()
                 tr.line_sets()
                 tr.work_cols(core.effective_rate(tr), core.branch_penalty)
-            if not spec.config.smp:
+            if not spec.config.smp and not spec.islands:
+                # Islands machines never take the kernel prewarm path
+                # (Machine.prewarm would return False after building the
+                # hierarchy), so skip the construction outright.
                 Machine(spec.config).prewarm(
                     wl, warm_fraction=WARM_FRACTIONS[spec.kind])
     return len(seen)

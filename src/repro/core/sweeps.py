@@ -25,8 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..simulator import cacti
-from ..simulator.configs import FIG6_L2_SIZES_MB, fc_cmp
+from ..simulator.configs import FIG6_L2_SIZES_MB, fc_cmp, lc_cmp
 from ..simulator.machine import MachineResult
+from ..simulator.topology import PLACEMENTS, IslandTopology
 from ..workloads.contention import (
     ContentionResult,
     SkewSpec,
@@ -247,6 +248,111 @@ def contention_sweep(
         points.append(ContentionPoint(theta=theta, cc_mode=cc_mode,
                                       result=attributed,
                                       contention=contention))
+    return points
+
+
+@dataclass
+class IslandPoint:
+    """One hardware-islands sample: a (camp, kind, placement) cell at a
+    socket count, paired with its single-socket baseline chip.
+
+    Attributes:
+        sockets: Socket count the measurement ran at.
+        placement: Deployment placement
+            (:data:`repro.simulator.topology.PLACEMENTS`).
+        kind: Workload kind.
+        camp: Core camp ("fc" / "lc").
+        result: The islands measurement.
+        baseline: The same chip (cores, L2) at one socket.
+    """
+
+    sockets: int
+    placement: str
+    kind: str
+    camp: str
+    result: MachineResult
+    baseline: MachineResult
+
+    @property
+    def rel_ipc(self) -> float:
+        """Throughput relative to the single-socket baseline."""
+        return self.result.ipc / self.baseline.ipc if self.baseline.ipc \
+            else 0.0
+
+    @property
+    def remote_fraction(self) -> float:
+        """Fraction of L2-port data accesses with a remote home island."""
+        hs = self.result.hier_stats
+        port = hs.data_level_counts[2] + hs.data_level_counts[3]
+        return hs.remote_accesses / port if port else 0.0
+
+
+def islands_sweep(
+    exp: Experiment,
+    sockets: int = 2,
+    placements: tuple[str, ...] = PLACEMENTS,
+    kinds: tuple[str, ...] = ("oltp", "dss"),
+    camps: tuple[str, ...] = ("fc", "lc"),
+    n_cores: int = 4,
+    l2_nominal_mb: float = 16.0,
+    remote_l2_latency: float = 3.0,
+    remote_mem_latency: float = 1.5,
+    jobs: int | None = None,
+    timeout: float | None = None,
+    retries: int | None = None,
+    fail_fast: bool | None = None,
+    checkpoint=None,
+    telemetry=None,
+) -> list[IslandPoint]:
+    """The placement study: what each deployment costs at ``sockets``.
+
+    Runs every (camp, kind, placement) cell on the islands chip plus one
+    single-socket baseline per (camp, kind) — same cores, same L2 — and
+    pairs them, so each point reads directly as "throughput retained and
+    remote traffic paid under this placement".  One ``island_point``
+    telemetry event is emitted per islands cell.
+    """
+    topo = IslandTopology(n_sockets=sockets,
+                          remote_l2_latency=remote_l2_latency,
+                          remote_mem_latency=remote_mem_latency)
+    builders = {"fc": fc_cmp, "lc": lc_cmp}
+    base_specs = {}
+    cells = []
+    for camp in camps:
+        build = builders[camp]
+        base_specs[camp] = {
+            kind: RunSpec(
+                build(n_cores=n_cores, l2_nominal_mb=l2_nominal_mb,
+                      scale=exp.scale), kind, "saturated")
+            for kind in kinds}
+        island_config = build(n_cores=n_cores, l2_nominal_mb=l2_nominal_mb,
+                              scale=exp.scale, topology=topo)
+        for kind in kinds:
+            for placement in placements:
+                cells.append((camp, kind, placement, RunSpec(
+                    island_config, kind, "saturated",
+                    placement=placement)))
+    specs = [spec for camp in camps for spec in base_specs[camp].values()]
+    specs += [spec for _, _, _, spec in cells]
+    results = exp.run_many(specs, jobs=jobs, timeout=timeout,
+                           retries=retries, fail_fast=fail_fast,
+                           checkpoint=checkpoint, telemetry=telemetry)
+    by_spec = dict(zip([id(s) for s in specs], results))
+    baselines = {
+        (camp, kind): by_spec[id(base_specs[camp][kind])]
+        for camp in camps for kind in kinds}
+    points = []
+    for camp, kind, placement, spec in cells:
+        point = IslandPoint(
+            sockets=sockets, placement=placement, kind=kind, camp=camp,
+            result=by_spec[id(spec)], baseline=baselines[(camp, kind)])
+        exp.telemetry.emit(
+            "island_point", sockets=sockets, placement=placement,
+            kind=kind, camp=camp, ipc=round(point.result.ipc, 6),
+            rel_ipc=round(point.rel_ipc, 6),
+            remote_frac=round(point.remote_fraction, 6),
+            remote_l1x=point.result.hier_stats.remote_l1x)
+        points.append(point)
     return points
 
 

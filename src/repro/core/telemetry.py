@@ -49,6 +49,7 @@ __all__ = [
     "TelemetryRecorder",
     "as_recorder",
     "format_contention_summary",
+    "format_islands_summary",
     "format_service_summary",
     "format_summary",
     "load_events",
@@ -56,6 +57,7 @@ __all__ = [
     "recorder_from_env",
     "summarize",
     "summarize_contention",
+    "summarize_islands",
     "summarize_service",
     "telemetry_path",
     "validate_event",
@@ -123,6 +125,11 @@ EVENT_SCHEMA: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
     "contention_point": (("theta", "cc_mode", "abort_rate",
                           "lock_wait_share"),
                          ("wasted_share", "commits", "aborts", "ipc")),
+    # Hardware-islands sweep: one event per (camp, kind, placement)
+    # cell at a socket count — throughput retained vs the single-socket
+    # baseline and the remote-traffic fractions the placement paid.
+    "island_point": (("sockets", "placement", "kind", "camp", "ipc"),
+                     ("rel_ipc", "remote_frac", "remote_l1x")),
 }
 
 #: ``spec_finished.source`` values.
@@ -475,6 +482,47 @@ def summarize_contention(events: list[dict]) -> dict:
         })
     points.sort(key=lambda p: (p["cc_mode"], p["theta"]))
     return {"points": points}
+
+
+def summarize_islands(events: list[dict]) -> dict:
+    """Fold ``island_point`` events into the stats islands section.
+
+    Returns ``{"points": [...]}`` with one row per event, ordered by
+    (sockets, placement, kind, camp) — empty for a log without islands
+    events.
+    """
+    points = []
+    for event in events:
+        if event.get("ev") != "island_point":
+            continue
+        points.append({
+            "sockets": int(event.get("sockets", 0)),
+            "placement": str(event.get("placement", "?")),
+            "kind": str(event.get("kind", "?")),
+            "camp": str(event.get("camp", "?")),
+            "ipc": float(event.get("ipc", 0.0)),
+            "rel_ipc": event.get("rel_ipc"),
+            "remote_frac": event.get("remote_frac"),
+        })
+    points.sort(key=lambda p: (p["sockets"], p["placement"], p["kind"],
+                               p["camp"]))
+    return {"points": points}
+
+
+def format_islands_summary(summary: dict) -> str:
+    """Render a :func:`summarize_islands` dict for ``repro stats``."""
+    from .reporting import format_table
+
+    rows = [
+        [f"{p['sockets']}s", p["placement"], p["kind"], p["camp"],
+         f"{p['ipc']:.3f}",
+         "-" if p["rel_ipc"] is None else f"{p['rel_ipc']:.3f}",
+         "-" if p["remote_frac"] is None else f"{p['remote_frac']:.1%}"]
+        for p in summary["points"]
+    ]
+    return format_table(
+        ["sockets", "placement", "kind", "camp", "ipc", "vs 1s", "remote"],
+        rows)
 
 
 def format_contention_summary(summary: dict) -> str:

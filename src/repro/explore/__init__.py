@@ -14,9 +14,22 @@ silicon budget (DESIGN.md §10.3):
    simulator screening error, and check the paper's qualitative claims
    (lean camp wins saturated throughput at equal area; fat camp wins
    unsaturated response time).
+
+:mod:`repro.explore.islands` adds a ``sockets x placement`` axis on
+top: the same grid re-screened on hardware-islands machines with an
+anchored correction per cell, re-checking both claims per socket count.
 """
 
 from .explorer import ConfirmRow, ExploreReport, explore, format_explore
+from .islands import (
+    ISLAND_SOCKETS,
+    IslandConfirmRow,
+    IslandsReport,
+    IslandWinner,
+    candidate_supports,
+    explore_islands,
+    format_islands,
+)
 from .space import (
     DEFAULT_L2_BANKS,
     DEFAULT_L2_SIZES_MB,
@@ -32,9 +45,16 @@ __all__ = [
     "DEFAULT_L2_BANKS",
     "DEFAULT_L2_SIZES_MB",
     "ExploreReport",
+    "ISLAND_SOCKETS",
+    "IslandConfirmRow",
+    "IslandWinner",
+    "IslandsReport",
+    "candidate_supports",
     "default_budget_mm2",
     "enumerate_candidates",
     "explore",
+    "explore_islands",
     "format_explore",
+    "format_islands",
     "quick_budget_mm2",
 ]

@@ -62,13 +62,19 @@ class Candidate:
         return (f"{self.camp.upper()} {self.n_cores}c x "
                 f"{self.l2_nominal_mb:g}MB/{self.l2_banks}b")
 
-    def config(self, scale: float) -> MachineConfig:
-        """Instantiate the simulator configuration for this candidate."""
+    def config(self, scale: float, topology=None) -> MachineConfig:
+        """Instantiate the simulator configuration for this candidate.
+
+        ``topology`` (an :class:`repro.simulator.IslandTopology` or
+        None) carves the same silicon into hardware islands; the
+        candidate's area accounting is unchanged by it.
+        """
         return _BUILDERS[self.camp](
             n_cores=self.n_cores,
             l2_nominal_mb=self.l2_nominal_mb,
             scale=scale,
             l2_banks=self.l2_banks,
+            topology=topology,
         )
 
 

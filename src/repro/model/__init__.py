@@ -26,6 +26,7 @@ from .analytical import (
     Prediction,
     Signature,
     StallPoint,
+    cross_island_fraction,
     md1_wait,
     predict,
     processor_sharing_ipc,
@@ -49,6 +50,7 @@ __all__ = [
     "Prediction",
     "Signature",
     "StallPoint",
+    "cross_island_fraction",
     "cross_validate",
     "fit",
     "md1_wait",

@@ -32,6 +32,11 @@ import math
 from dataclasses import dataclass
 
 from ..simulator.machine import MachineConfig
+from ..simulator.topology import (
+    DEFAULT_PLACEMENT,
+    IslandTopology,
+    validate_placement,
+)
 
 #: Utilization clamp for the M/D/1 term.  The closed form diverges as
 #: rho -> 1; a real bank saturates instead (arrivals are elastic — cores
@@ -245,6 +250,43 @@ class Prediction:
     l2_latency: float
 
 
+def cross_island_fraction(topology: IslandTopology | None,
+                          placement: str = DEFAULT_PLACEMENT) -> float:
+    """Fraction of off-L1 traffic whose home island is remote.
+
+    Interleaved homes are uniform across ``s`` islands, so a requester
+    finds ``(s - 1) / s`` of its references homed elsewhere; the
+    ``island-partitioned`` placement keeps every data access home-local
+    by construction, so its fraction is 0.  Single-socket (or no)
+    topologies are always 0.
+    """
+    if topology is None or not topology.active:
+        return 0.0
+    if placement == "island-partitioned":
+        return 0.0
+    return (topology.n_sockets - 1) / topology.n_sockets
+
+
+def _island_queue_wait(ipc: float, ppi: float, service: float,
+                       banks: float, n_islands: int) -> tuple[float, float]:
+    """Mean L2 bank-queue wait and utilization across islands.
+
+    Each island's banks serve ``1/s`` of the chip's port traffic on
+    ``banks/s`` banks.  The placements modeled here are symmetric
+    (round-robin pinning, uniform interleave), so every island sees the
+    same utilization and the loop averages identical M/D/1 terms; it is
+    kept as an explicit per-island sum so an asymmetric placement can
+    slot in without touching the fixed point.
+    """
+    total_wait = 0.0
+    rho = 0.0
+    island_banks = banks / n_islands
+    for _ in range(n_islands):
+        rho = (ipc / n_islands) * ppi * service / island_banks
+        total_wait += md1_wait(rho, service)
+    return total_wait / n_islands, rho
+
+
 def _port_accesses_per_instr(sig: Signature, point: StallPoint) -> float:
     """L2 port (bank) accesses generated per committed instruction:
     data references that reach the L2 plus off-L1 instruction fetches."""
@@ -263,7 +305,8 @@ def _context_counts(sig: Signature, n_cores: int, k: int) -> list[int]:
     return [base + 1] * extra + [base] * (n_cores - extra)
 
 
-def predict(sig: Signature, config: MachineConfig) -> Prediction:
+def predict(sig: Signature, config: MachineConfig,
+            placement: str = DEFAULT_PLACEMENT) -> Prediction:
     """Evaluate the model for ``config`` under ``sig``'s workload cell.
 
     Saturated regime: iterate the throughput <-> M/D/1 fixed point to
@@ -271,11 +314,29 @@ def predict(sig: Signature, config: MachineConfig) -> Prediction:
     lowers throughput which lowers wait).  Unsaturated regime: a single
     client cannot queue against itself, so ``wq = 0`` and the response
     time is ``instructions x CPI``.
+
+    Hardware islands (DESIGN.md §15): a cross-island traffic fraction
+    ``x`` (0 for ``island-partitioned``, else ``(s-1)/s``) inflates the
+    effective L2 and memory latencies by their remote multipliers, and
+    the M/D/1 bank-queueing term is evaluated per island (``banks/s``
+    banks serving ``1/s`` of the traffic each).  Single-socket configs
+    reduce every term to the pre-island equations exactly.
     """
     hier = config.hierarchy
     lat = float(hier.resolved_l2_latency())
     point = sig.at(hier.l2_nominal_mb)
     mem = float(hier.mem_latency)
+    validate_placement(placement)
+    topo = getattr(config, "topology", None)
+    islands = topo is not None and topo.active
+    if placement != DEFAULT_PLACEMENT and not islands:
+        raise ValueError(
+            f"placement {placement!r} requires a multi-socket topology")
+    n_islands = topo.n_sockets if islands else 1
+    if islands:
+        x = cross_island_fraction(topo, placement)
+        lat = lat * (1.0 + x * (topo.remote_l2_latency - 1.0))
+        mem = mem * (1.0 + x * (topo.remote_mem_latency - 1.0))
 
     if sig.regime == "unsaturated":
         cpi = thread_cpi(sig, point, lat, 0.0, mem) * point.correction
@@ -305,8 +366,12 @@ def predict(sig: Signature, config: MachineConfig) -> Prediction:
         else:
             chip_ipc = len(counts) / cpi
         ipc = chip_ipc * point.correction
-        rho = ipc * ppi * service / banks
-        wq_next = md1_wait(rho, service)
+        if n_islands > 1:
+            wq_next, rho = _island_queue_wait(ipc, ppi, service, banks,
+                                              n_islands)
+        else:
+            rho = ipc * ppi * service / banks
+            wq_next = md1_wait(rho, service)
         if abs(wq_next - wq) < _FP_TOL:
             wq = wq_next
             break

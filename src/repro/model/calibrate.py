@@ -210,10 +210,16 @@ class CalibratedModel:
                 f"fitted cells: {cells}") from None
 
     def predict(self, config: MachineConfig, kind: str,
-                regime: str = "saturated") -> Prediction:
-        """Evaluate the model for ``config`` (microseconds, no simulation)."""
+                regime: str = "saturated",
+                placement: str = "shared-everything") -> Prediction:
+        """Evaluate the model for ``config`` (microseconds, no simulation).
+
+        ``placement`` only matters when ``config`` carries an active
+        islands topology (see :func:`repro.model.analytical.predict`).
+        """
         camp = config.core.camp
-        return predict(self.signature(kind, camp, regime), config)
+        return predict(self.signature(kind, camp, regime), config,
+                       placement=placement)
 
     # -------------------------------------------------------------- #
     # Persistence                                                     #

@@ -18,6 +18,8 @@ from dataclasses import dataclass, replace
 from ..core.parallel import REGIMES, RunSpec, WARM_FRACTIONS
 from ..model.calibrate import config_for
 from ..simulator.machine import MachineConfig, MachineResult
+from ..simulator.topology import DEFAULT_PLACEMENT, IslandTopology, \
+    validate_placement
 
 __all__ = [
     "Answer",
@@ -72,6 +74,11 @@ class DesignQuery:
         kind: Workload kind, ``"oltp"`` or ``"dss"``.
         regime: ``"saturated"`` (throughput) or ``"unsaturated"``
             (response time).
+        sockets: Hardware-islands socket count (1 = the pre-island
+            single chip; the wire form, key, and label only carry the
+            island coordinates when this is > 1).
+        placement: Client/data placement policy on a multi-socket
+            machine (see :data:`repro.simulator.topology.PLACEMENTS`).
     """
 
     camp: str
@@ -80,6 +87,8 @@ class DesignQuery:
     banks: int = 4
     kind: str = "oltp"
     regime: str = "saturated"
+    sockets: int = 1
+    placement: str = DEFAULT_PLACEMENT
 
     def __post_init__(self):
         if self.camp not in CAMPS:
@@ -100,32 +109,68 @@ class DesignQuery:
                 or self.banks & (self.banks - 1)):
             raise ValueError(f"banks must be a positive power of two, "
                              f"got {self.banks!r}")
+        if not isinstance(self.sockets, int) or self.sockets < 1:
+            raise ValueError(f"sockets must be a positive int, "
+                             f"got {self.sockets!r}")
+        validate_placement(self.placement)
+        topo = self.topology()
+        if topo is not None:
+            # Eager geometry validation, same as MachineConfig: a bad
+            # carving is rejected at the wire, not inside a worker.
+            topo.island_cores(self.cores)
+            topo.island_banks(self.banks)
+        elif self.placement != DEFAULT_PLACEMENT:
+            raise ValueError(
+                f"placement {self.placement!r} needs a multi-socket "
+                f"query (got sockets={self.sockets})")
+
+    def topology(self) -> IslandTopology | None:
+        """The islands carving this query names (None at one socket)."""
+        if self.sockets == 1:
+            return None
+        return IslandTopology(n_sockets=self.sockets)
 
     def key(self) -> tuple:
-        """The coalescing/cache identity of this query."""
-        return (self.camp, self.cores, float(self.l2_mb), self.banks,
-                self.kind, self.regime)
+        """The coalescing/cache identity of this query.
+
+        Single-socket keys are byte-identical to the pre-island wire
+        protocol; island coordinates append only when they are active.
+        """
+        key = (self.camp, self.cores, float(self.l2_mb), self.banks,
+               self.kind, self.regime)
+        if self.sockets > 1:
+            key += (self.sockets, self.placement)
+        return key
 
     @property
     def label(self) -> str:
         """Compact display label for logs and reports."""
-        return (f"{self.camp}/{self.cores}c/{self.l2_mb:g}MB/"
+        base = (f"{self.camp}/{self.cores}c/{self.l2_mb:g}MB/"
                 f"{self.banks}b/{self.kind}/{self.regime}")
+        if self.sockets > 1:
+            base += f"/{self.sockets}s/{self.placement}"
+        return base
 
     def config(self, scale: float) -> MachineConfig:
         """The machine configuration this query names at ``scale``."""
         return config_for(self.camp, self.l2_mb, scale,
-                          n_cores=self.cores, l2_banks=self.banks)
+                          n_cores=self.cores, l2_banks=self.banks,
+                          topology=self.topology())
 
     def spec(self, scale: float) -> RunSpec:
         """The simulator measurement this query names at ``scale``."""
-        return RunSpec(self.config(scale), self.kind, self.regime)
+        return RunSpec(self.config(scale), self.kind, self.regime,
+                       placement=self.placement)
 
     def to_dict(self) -> dict:
         """A JSON-ready document (the wire form of a query)."""
-        return {"camp": self.camp, "cores": self.cores,
-                "l2_mb": self.l2_mb, "banks": self.banks,
-                "kind": self.kind, "regime": self.regime}
+        doc = {"camp": self.camp, "cores": self.cores,
+               "l2_mb": self.l2_mb, "banks": self.banks,
+               "kind": self.kind, "regime": self.regime}
+        if self.sockets > 1:
+            doc["sockets"] = self.sockets
+            doc["placement"] = self.placement
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict) -> "DesignQuery":
@@ -138,7 +183,8 @@ class DesignQuery:
         if not isinstance(doc, dict):
             raise ValueError(f"query must be an object, "
                              f"got {type(doc).__name__}")
-        allowed = {"camp", "cores", "l2_mb", "banks", "kind", "regime"}
+        allowed = {"camp", "cores", "l2_mb", "banks", "kind", "regime",
+                   "sockets", "placement"}
         extra = set(doc) - allowed
         if extra:
             raise ValueError(f"unknown query fields {sorted(extra)}")
@@ -152,9 +198,11 @@ class DesignQuery:
                 out["l2_mb"] = float(doc["l2_mb"])
             if "banks" in doc:
                 out["banks"] = int(doc["banks"])
+            if "sockets" in doc:
+                out["sockets"] = int(doc["sockets"])
         except (TypeError, ValueError) as exc:
             raise ValueError(f"bad query numeric field: {exc}") from None
-        for name in ("kind", "regime"):
+        for name in ("kind", "regime", "placement"):
             if name in doc:
                 out[name] = doc[name]
         return cls(**out)

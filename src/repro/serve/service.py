@@ -360,7 +360,8 @@ class DesignService:
     def _predict(self, query: DesignQuery):
         """The model tier: evaluate the calibrated model (microseconds)."""
         return self._model.predict(query.config(self.exp.scale),
-                                   query.kind, query.regime)
+                                   query.kind, query.regime,
+                                   placement=query.placement)
 
     def _model_answer(self, query: DesignQuery, req: int,
                       note: str = "") -> Answer:

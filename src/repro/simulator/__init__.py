@@ -11,6 +11,7 @@ Public surface:
 - :mod:`repro.simulator.cores` — fat/lean core timing models.
 - :mod:`repro.simulator.machine` — warm/measure execution loop.
 - :mod:`repro.simulator.configs` — canonical machine configurations.
+- :mod:`repro.simulator.topology` — hardware-islands topologies.
 """
 
 from .addresses import LINE_SIZE, PAGE_SIZE, AddressSpace, Region
@@ -37,6 +38,12 @@ from .hierarchy import (
 )
 from .coherence import PrivateL2Hierarchy
 from .machine import Machine, MachineConfig, MachineResult
+from .topology import (
+    DEFAULT_PLACEMENT,
+    PLACEMENTS,
+    IslandTopology,
+    validate_placement,
+)
 from .trace import (
     FLAG_CODE_JUMP,
     FLAG_DEPENDENT,
@@ -56,6 +63,7 @@ __all__ = [
     "CacheStats",
     "COH",
     "CoreParams",
+    "DEFAULT_PLACEMENT",
     "FatCore",
     "FIG6_L2_SIZES_MB",
     "FLAG_CODE_JUMP",
@@ -63,6 +71,7 @@ __all__ = [
     "FLAG_KERNEL",
     "FLAG_WRITE",
     "HierarchyParams",
+    "IslandTopology",
     "L1",
     "L1X",
     "L2",
@@ -74,6 +83,7 @@ __all__ = [
     "MachineResult",
     "MEM",
     "PAGE_SIZE",
+    "PLACEMENTS",
     "PrivateL2Hierarchy",
     "Region",
     "SetAssocCache",
@@ -87,4 +97,5 @@ __all__ = [
     "fc_smp",
     "lc_cmp",
     "lean_core_params",
+    "validate_placement",
 ]

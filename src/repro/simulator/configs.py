@@ -22,6 +22,7 @@ import os
 from .cores import fat_core_params, lean_core_params
 from .hierarchy import HierarchyParams
 from .machine import MachineConfig
+from .topology import IslandTopology
 
 #: The L2 sizes swept in Figure 6, in (nominal) megabytes.
 FIG6_L2_SIZES_MB = (1.0, 2.0, 4.0, 8.0, 16.0, 26.0)
@@ -62,6 +63,7 @@ def fc_cmp(
     l2_nominal_mb: float = BASELINE_L2_MB,
     scale: float = 1.0,
     const_latency: int | None = None,
+    topology: IslandTopology | None = None,
     **hier_overrides,
 ) -> MachineConfig:
     """Fat-camp CMP: ``n_cores`` 4-wide OoO cores, shared L2.
@@ -72,16 +74,21 @@ def fc_cmp(
         scale: Study-wide scale factor (see :func:`default_scale`).
         const_latency: Fix the L2 hit latency (the Fig. 6 "const" runs);
             None uses the Cacti model on the nominal size.
+        topology: Optional hardware-islands topology (multi-socket);
+            tagged into the name when active.
         **hier_overrides: Extra :class:`HierarchyParams` fields.
     """
     name = f"FC-CMP {n_cores}c x {l2_nominal_mb:g}MB"
     if const_latency is not None:
         name += f" (const {const_latency}cyc)"
+    if topology is not None and topology.active:
+        name += f" [{topology.describe()}]"
     return MachineConfig(
         name=name,
         core=fat_core_params(),
         hierarchy=_hier(n_cores, l2_nominal_mb, scale, const_latency,
                         **hier_overrides),
+        topology=topology,
     )
 
 
@@ -90,6 +97,7 @@ def lc_cmp(
     l2_nominal_mb: float = BASELINE_L2_MB,
     scale: float = 1.0,
     const_latency: int | None = None,
+    topology: IslandTopology | None = None,
     **hier_overrides,
 ) -> MachineConfig:
     """Lean-camp CMP: ``n_cores`` 2-issue in-order cores, 4 contexts each.
@@ -99,6 +107,8 @@ def lc_cmp(
     name = f"LC-CMP {n_cores}c x {l2_nominal_mb:g}MB"
     if const_latency is not None:
         name += f" (const {const_latency}cyc)"
+    if topology is not None and topology.active:
+        name += f" [{topology.describe()}]"
     hier_overrides.setdefault("l1i_kb", 16)
     hier_overrides.setdefault("l1d_kb", 16)
     return MachineConfig(
@@ -106,6 +116,7 @@ def lc_cmp(
         core=lean_core_params(),
         hierarchy=_hier(n_cores, l2_nominal_mb, scale, const_latency,
                         **hier_overrides),
+        topology=topology,
     )
 
 

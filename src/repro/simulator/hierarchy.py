@@ -20,11 +20,16 @@ accounting maps to stall categories.
 from __future__ import annotations
 
 from array import array
-from dataclasses import dataclass, field
+from dataclasses import MISSING, dataclass, field, fields
 
 from .cache import CLEAN, DIRTY, SetAssocCache
 from . import cacti
 from . import replay
+from .topology import (
+    HOME_INTERLEAVE_SHIFT,
+    PARTITION_TAG_SHIFT,
+    IslandTopology,
+)
 
 #: Access satisfied by the local L1 (no exposed stall; latency folded).
 L1 = 0
@@ -85,7 +90,15 @@ class HierarchyParams:
 
 @dataclass
 class HierarchyStats:
-    """Aggregate counters a hierarchy exposes to the experiment layer."""
+    """Aggregate counters a hierarchy exposes to the experiment layer.
+
+    The ``remote_*`` counters only move on multi-socket (hardware
+    islands) machines: accesses whose home island differed from the
+    requester's, the extra cycles the remote paths charged, and the
+    cross-island L1-to-L1 transfers.  They stay zero on single-socket
+    machines, so pre-island documents and pickles simply lack them —
+    :meth:`__setstate__` fills the defaults on load.
+    """
 
     data_accesses: int = 0
     data_level_counts: list[int] = field(default_factory=lambda: [0] * 5)
@@ -95,6 +108,9 @@ class HierarchyStats:
     l2_queued_accesses: int = 0
     coherence_misses: int = 0
     prefetch_covered: int = 0
+    remote_accesses: int = 0
+    remote_l1x: int = 0
+    remote_extra_cycles: int = 0
 
     def reset(self) -> None:
         """Zero all counters (warm/measure boundary)."""
@@ -106,6 +122,20 @@ class HierarchyStats:
         self.l2_queued_accesses = 0
         self.coherence_misses = 0
         self.prefetch_covered = 0
+        self.remote_accesses = 0
+        self.remote_l1x = 0
+        self.remote_extra_cycles = 0
+
+    def __setstate__(self, state: dict) -> None:
+        # Pickles written before a counter existed restore with the
+        # counter at its default instead of failing attribute lookups
+        # later (result caches and sweep checkpoints carry such objects).
+        self.__dict__.update(state)
+        for f in fields(self):
+            if f.name not in state:
+                setattr(self, f.name,
+                        f.default_factory() if f.default is MISSING
+                        else f.default)
 
     def data_fraction(self, level: int) -> float:
         """Fraction of data accesses satisfied at ``level``."""
@@ -166,7 +196,8 @@ class SharedL2Hierarchy:
     DESIGN.md, "Key modelling decisions").
     """
 
-    def __init__(self, params: HierarchyParams):
+    def __init__(self, params: HierarchyParams,
+                 topology: IslandTopology | None = None):
         self.params = params
         self.l2_latency = params.resolved_l2_latency()
         n = params.n_cores
@@ -201,7 +232,77 @@ class SharedL2Hierarchy:
         #: Kernel engagement counters drained by :meth:`observe`.
         self.kernel_counters = {
             "l1_filter_hits": 0, "l1_filter_bypass": 0, "batched_steps": 0}
+        # Hardware islands (DESIGN.md section 15).  An inactive topology
+        # (None or 1 socket) leaves every hot path on its pre-island
+        # code; the single `self._topo is None` test is the only cost.
+        self._topo = topology if topology is not None and topology.active \
+            else None
+        if self._topo is not None:
+            topo = self._topo
+            cores_per_island = topo.island_cores(n)
+            banks_per_island = topo.island_banks(banks)
+            self._core_island = [c // cores_per_island for c in range(n)]
+            self._cores_per_island = cores_per_island
+            self._banks_per_island = banks_per_island
+            self._island_bank_mask = banks_per_island - 1
+            self._home_mask = topo.n_sockets - 1
+            self._remote_l2_extra = \
+                (topo.remote_l2_latency - 1.0) * self.l2_latency
+            self._remote_mem_extra = \
+                (topo.remote_mem_latency - 1.0) * params.mem_latency
+            self._remote_l1x_extra = \
+                (topo.remote_l2_latency - 1.0) * params.l1_transfer_latency
+        #: Per-core line tags: 0 everywhere except under the
+        #: island-partitioned placement, where each core's accesses are
+        #: lifted into its island's private address space.
+        self._line_tag = [0] * n
+        self._partitioned = False
         self.stats = HierarchyStats()
+
+    @property
+    def islands_active(self) -> bool:
+        """True when a multi-socket topology changes this hierarchy."""
+        return self._topo is not None
+
+    def set_placement(self, placement: str) -> None:
+        """Configure data homing for a deployment placement.
+
+        ``island-partitioned`` lifts each core's data lines into its
+        island's private address space (tag = island << tag shift), so
+        every access is home-local by construction and the home of a
+        tagged line is read back from the tag.  The other placements
+        keep the 64 KB address-range interleave.  No-op on single-socket
+        hierarchies.
+        """
+        if self._topo is None:
+            return
+        if placement == "island-partitioned":
+            self._line_tag = [
+                island << PARTITION_TAG_SHIFT for island in self._core_island]
+            self._partitioned = True
+        else:
+            self._line_tag = [0] * self.params.n_cores
+            self._partitioned = False
+
+    def _home_of(self, line: int) -> int:
+        """Home island of a line (tag bits when partitioned, else the
+        64 KB address-range interleave)."""
+        if self._partitioned:
+            return (line >> PARTITION_TAG_SHIFT) & self._home_mask
+        return (line >> HOME_INTERLEAVE_SHIFT) & self._home_mask
+
+    def warm_identity(self) -> tuple:
+        """Extra warm-memo key components for islands machines.
+
+        The warm state depends on the line tags (partitioned placement
+        rewrites every line), so multi-socket warm snapshots must not
+        collide with single-socket ones or with each other across
+        placements.  Single-socket hierarchies contribute nothing,
+        keeping pre-island memo keys byte-identical.
+        """
+        if self._topo is None:
+            return ()
+        return (self._topo.key(), tuple(self._line_tag))
 
     def set_l1_filter(self, session) -> None:
         """Attach (or detach with None) a measure-phase replay session."""
@@ -217,8 +318,16 @@ class SharedL2Hierarchy:
         Returns the queueing delay (cycles spent waiting for the bank).
         Correlated miss bursts from many cores produce the growing queueing
         delays behind Fig. 8's sublinear speedup.
+
+        On islands machines the banks are carved per island and a line
+        queues at its *home* island's banks, so cross-island traffic
+        contends with the home island's local traffic.
         """
-        bank = line & self._bank_mask
+        if self._topo is None:
+            bank = line & self._bank_mask
+        else:
+            bank = (self._home_of(line) * self._banks_per_island
+                    + (line & self._island_bank_mask))
         free = self._bank_free[bank]
         delay = free - now if free > now else 0.0
         self._bank_free[bank] = now + delay + self.params.l2_occupancy
@@ -242,6 +351,8 @@ class SharedL2Hierarchy:
         """
         p = self.params
         line = addr >> 6
+        if self._topo is not None:
+            line |= self._line_tag[core]
         fil = self._l1_filter
         if fil is not None:
             served = fil.pre(core, line, write, now)
@@ -273,9 +384,12 @@ class SharedL2Hierarchy:
             # on-chip L1-to-L1 intervention (the CMP benefit of Sec 5.2);
             # clean copies are simply served by the shared L2 below.
             dirty_sibling = False
+            dirty_core = -1
             for other in range(p.n_cores):
                 if sibling_mask >> other & 1:
                     if self._l1d[other].lookup(line) == 1:  # DIRTY
+                        if not dirty_sibling:
+                            dirty_core = other
                         dirty_sibling = True
                     if write:
                         self._l1d[other].invalidate(line)
@@ -286,6 +400,16 @@ class SharedL2Hierarchy:
             if dirty_sibling:
                 self.l2.touch(line)
                 counts[L1X] += 1
+                if (self._topo is not None and
+                        self._core_island[dirty_core]
+                        != self._core_island[core]):
+                    # Cross-island intervention: the dirty copy crosses
+                    # the socket interconnect, paying the remote-L2
+                    # multiplier over the on-chip transfer.
+                    stats.remote_l1x += 1
+                    stats.remote_extra_cycles += int(self._remote_l1x_extra)
+                    return int(p.l1_transfer_latency
+                               + self._remote_l1x_extra), L1X
                 return p.l1_transfer_latency, L1X
         owners[line] = owners.get(line, 0) | bit
         # Stride prefetch check (ablation feature, off by default).
@@ -303,6 +427,25 @@ class SharedL2Hierarchy:
             self._pf_last[core] = line
         qdelay = self._l2_port(line, now)
         l2_hit, _ = self.l2.access(line, write)
+        if self._topo is not None:
+            # Islands charging rule (DESIGN.md section 15): a request
+            # whose home island differs from the requester's pays the
+            # remote-L2 multiplier on the L2 round trip, and a memory
+            # miss additionally pays the remote-memory multiplier.
+            extra = 0.0
+            if self._home_of(line) != self._core_island[core]:
+                stats.remote_accesses += 1
+                extra = self._remote_l2_extra
+                if not (l2_hit or predicted):
+                    extra += self._remote_mem_extra
+                stats.remote_extra_cycles += int(extra)
+            if l2_hit or predicted:
+                if not l2_hit:
+                    stats.prefetch_covered += 1
+                counts[L2] += 1
+                return int(self.l2_latency + qdelay + extra), L2
+            counts[MEM] += 1
+            return int(self.l2_latency + qdelay + p.mem_latency + extra), MEM
         if l2_hit:
             counts[L2] += 1
             return int(self.l2_latency + qdelay), L2
@@ -356,6 +499,8 @@ class SharedL2Hierarchy:
     def warm_data(self, core: int, addr: int, write: bool) -> None:
         """Functional warm-up: identical state transitions, no timing."""
         line = addr >> 6
+        if self._topo is not None:
+            line |= self._line_tag[core]
         hit, victim = self._l1d[core].access(line, write)
         if hit:
             return
@@ -406,9 +551,12 @@ class SharedL2Hierarchy:
         l1d = self._l1d
         log = self._warm_log
         log_append = None if log is None else log.append
+        # tag is 0 on single-socket hierarchies, where `| 0` leaves every
+        # line value bit-identical to the pre-island loop.
+        tag = self._line_tag[core]
         for i in range(lo, hi):
             write = meta[i] & 0x1
-            line = addrs[i] >> 6
+            line = addrs[i] >> 6 | tag
             sdict = sets[line % n_sets]
             state = sdict.pop(line, -1)
             if state >= 0:
@@ -554,6 +702,18 @@ class SharedL2Hierarchy:
                 else:
                     exposed += self.l2_latency + qdelay + p.mem_latency
                     level = MEM
+                if self._topo is not None:
+                    # Code lines stay untagged (program text is shared
+                    # by every instance), so their homes interleave; a
+                    # remote-home jump-target fetch pays the same extras
+                    # as a remote data access.
+                    if self._home_of(line) != self._core_island[core]:
+                        extra = self._remote_l2_extra
+                        if level == MEM:
+                            extra += self._remote_mem_extra
+                        stats.remote_accesses += 1
+                        stats.remote_extra_cycles += int(extra)
+                        exposed += extra
             else:
                 exposed += p.jump_bubble_cycles
             n_lines -= 1
@@ -596,6 +756,10 @@ class SharedL2Hierarchy:
         probe.count("l2_queue_delay", stats.l2_queue_delay)
         probe.count("l2_queued_accesses", stats.l2_queued_accesses)
         probe.count("prefetch_covered", stats.prefetch_covered)
+        if self._topo is not None:
+            probe.count("remote_accesses", stats.remote_accesses)
+            probe.count("remote_l1x", stats.remote_l1x)
+            probe.count("remote_extra_cycles", stats.remote_extra_cycles)
         kc = self.kernel_counters
         for name in ("l1_filter_hits", "l1_filter_bypass", "batched_steps"):
             if kc[name]:

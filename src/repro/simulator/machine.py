@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field, fields
+from dataclasses import MISSING, dataclass, field, fields
 
 from .breakdown import Breakdown
 from .coherence import PrivateL2Hierarchy
@@ -34,6 +34,11 @@ from .hierarchy import (
 )
 from .profiling import NULL_PROBE
 from . import replay
+from .topology import (
+    DEFAULT_PLACEMENT,
+    IslandTopology,
+    validate_placement,
+)
 from .trace import Trace, Workload
 
 #: Schema tag stamped into every :meth:`MachineResult.to_dict` document.
@@ -72,12 +77,40 @@ class MachineConfig:
         hierarchy: Cache hierarchy parameters.
         smp: If True, build private per-node L2s with MESI coherence
             instead of the shared CMP L2.
+        topology: Optional hardware-islands topology.  None (or an
+            inactive 1-socket topology) keeps the pre-island single-chip
+            machine; an active topology carves the cores and L2 banks
+            into islands and charges remote latencies (DESIGN.md
+            section 15).  Incompatible with ``smp`` (the SMP model has
+            its own private-L2 coherence geometry).
     """
 
     name: str
     core: CoreParams
     hierarchy: HierarchyParams
     smp: bool = False
+    topology: IslandTopology | None = None
+
+    def __post_init__(self) -> None:
+        topo = self.topology
+        if topo is None:
+            return
+        if not isinstance(topo, IslandTopology):
+            raise ValueError(
+                f"topology must be an IslandTopology or None, got {topo!r}")
+        if topo.active:
+            if self.smp:
+                raise ValueError(
+                    "islands topologies apply to the shared-L2 CMP "
+                    "hierarchy, not smp machines")
+            # Eager geometry checks: fail at construction, not mid-sweep.
+            topo.island_cores(self.hierarchy.n_cores)
+            topo.island_banks(self.hierarchy.l2_banks)
+
+    @property
+    def islands(self) -> bool:
+        """True when this machine has an active multi-socket topology."""
+        return self.topology is not None and self.topology.active
 
     @property
     def n_hardware_contexts(self) -> int:
@@ -200,6 +233,12 @@ class MachineResult:
     def from_dict(cls, doc: dict) -> "MachineResult":
         """Rebuild a result from a :meth:`to_dict` document.
 
+        Accepts both pre-island ``machine-result-v1`` documents (whose
+        ``hier_stats`` block lacks the island counters) and current
+        documents: counters absent from the document restore at their
+        dataclass defaults, exactly like :meth:`HierarchyStats.__setstate__`
+        on an old pickle.  Core counters present in v1 stay required.
+
         Raises:
             ValueError: on a missing/unknown schema tag or a document
                 missing a raw field (derived blocks are ignored).
@@ -218,6 +257,7 @@ class MachineResult:
                          if isinstance(hier_doc[f.name], list)
                          else hier_doc[f.name])
                 for f in fields(HierarchyStats)
+                if f.name in hier_doc or f.default is MISSING
             })
             return cls(
                 config_name=doc["config_name"],
@@ -250,7 +290,8 @@ class Machine:
         if config.smp:
             self.hierarchy = PrivateL2Hierarchy(config.hierarchy)
         else:
-            self.hierarchy = SharedL2Hierarchy(config.hierarchy)
+            self.hierarchy = SharedL2Hierarchy(config.hierarchy,
+                                               config.topology)
         self._cores: list = []
         self._warm_entry: replay.WarmEntry | None = None
         self._batched_steps = 0
@@ -259,11 +300,19 @@ class Machine:
     # Context mapping                                                     #
     # ------------------------------------------------------------------ #
 
-    def _assign(self, traces: list[Trace]) -> list[list[list[Trace]]]:
+    def _assign(self, traces: list[Trace],
+                placement: str = DEFAULT_PLACEMENT) -> list[list[list[Trace]]]:
         """Round-robin client traces onto [core][context] slots.
 
         More clients than contexts -> contexts cycle through several client
         traces (queued clients); fewer -> surplus contexts idle.
+
+        Under the pinned placements (``island-partitioned`` / ``hybrid``)
+        client ``i`` is pinned to island ``i % n_sockets`` and
+        round-robins across that island's cores first, mirroring the
+        global fill-across-cores-first rule within the island.  The
+        default ``shared-everything`` placement is the pre-island global
+        round-robin, bit-identical slot for slot.
         """
         cfg = self.config
         n_cores = cfg.hierarchy.n_cores
@@ -271,6 +320,20 @@ class Machine:
         slots: list[list[list[Trace]]] = [
             [[] for _ in range(per_core)] for _ in range(n_cores)
         ]
+        if cfg.islands and placement in ("island-partitioned", "hybrid"):
+            topo = cfg.topology
+            n_sockets = topo.n_sockets
+            cores_per_island = topo.island_cores(n_cores)
+            island_slots = cores_per_island * per_core
+            filled = [0] * n_sockets
+            for i, tr in enumerate(traces):
+                island = i % n_sockets
+                slot = filled[island] % island_slots
+                filled[island] += 1
+                core = island * cores_per_island + slot % cores_per_island
+                ctx = slot // cores_per_island
+                slots[core][ctx].append(tr)
+            return slots
         total = n_cores * per_core
         for i, tr in enumerate(traces):
             slot = i % total
@@ -329,9 +392,13 @@ class Machine:
         memo_key = None
         if isinstance(hier, SharedL2Hierarchy):
             p = hier.params
+            # warm_identity() is () on single-socket machines, so their
+            # memo keys stay byte-identical to pre-island builds; islands
+            # machines key on topology + line tags (placement-dependent).
             memo_key = (p.n_cores, p.l1d_kb, p.l1_assoc, passes, chunk,
                         tuple((core_id, id(tr), warm_len)
-                              for core_id, tr, warm_len in walkers))
+                              for core_id, tr, warm_len in walkers)
+                        ) + hier.warm_identity()
             entry = _WARM_MEMO.get(memo_key)
             if entry is not None:
                 hier.restore_warm_state(entry.state)
@@ -341,8 +408,11 @@ class Machine:
             # Vectorized warm kernel (DESIGN.md §14): computes the same
             # (L1 sets, owners, L2 log) state in closed form, or None
             # whenever it cannot guarantee bit-exactness — then the
-            # interpreted walk below runs exactly as before.
-            if memo_key not in _WARM_KERNEL_BAILS:
+            # interpreted walk below runs exactly as before.  Islands
+            # machines skip the kernel (it knows nothing of line tags or
+            # remote homes) and always warm interpretively.
+            if memo_key not in _WARM_KERNEL_BAILS \
+                    and not hier.islands_active:
                 computed = replay.compute_warm_state(
                     hier, walkers, passes, chunk)
                 if computed is not None:
@@ -410,7 +480,10 @@ class Machine:
         """
         hier = self.hierarchy
         if (not warm_passes or not isinstance(hier, SharedL2Hierarchy)
-                or not replay.kernels_enabled()):
+                or hier.islands_active or not replay.kernels_enabled()):
+            # Islands machines never take the closed-form kernel path
+            # (line tags / remote homes are interpreter-only), so there
+            # is nothing to prebuild.
             return False
         live = [tr for tr in workload.traces if len(tr)]
         if not live:
@@ -452,6 +525,7 @@ class Machine:
         warm_passes: int = 1,
         warm_fraction: float = 0.5,
         probe=NULL_PROBE,
+        placement: str = DEFAULT_PLACEMENT,
     ) -> MachineResult:
         """Warm, then measure the workload on this machine.
 
@@ -470,6 +544,10 @@ class Machine:
                 :data:`~repro.simulator.profiling.NULL_PROBE` is inert;
                 probes only observe and never feed back into timing, so
                 the result is identical either way.
+            placement: Deployment placement on islands machines
+                (:data:`repro.simulator.topology.PLACEMENTS`).  Only the
+                default ``shared-everything`` is legal on single-socket
+                machines.
 
         Returns:
             A :class:`MachineResult`.
@@ -480,6 +558,13 @@ class Machine:
         """
         if mode not in ("throughput", "response"):
             raise ValueError(f"unknown mode {mode!r}")
+        validate_placement(placement)
+        if placement != DEFAULT_PLACEMENT and not self.config.islands:
+            raise ValueError(
+                f"placement {placement!r} requires a multi-socket "
+                "topology (single-socket machines are shared-everything)")
+        if self.config.islands:
+            self.hierarchy.set_placement(placement)
         total_contexts = self.config.n_hardware_contexts
         if mode == "response" and workload.n_clients > total_contexts:
             raise ValueError(
@@ -508,7 +593,7 @@ class Machine:
                 l2_miss_rate=self._l2_miss_rate(),
                 extras={"context_progress": []},
             )
-        slots = self._assign(live_traces)
+        slots = self._assign(live_traces, placement)
         if not warm_passes:
             def offset_of(tr: Trace) -> int:
                 return 0
@@ -541,6 +626,7 @@ class Machine:
         entry = self._warm_entry
         if (entry is not None and mode == "throughput"
                 and self.config.core.n_contexts == 1
+                and not self.config.islands
                 and replay.kernels_enabled()):
             core_traces = {core_id: core_slots[0]
                            for core_id, core_slots in enumerate(slots)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import functools
 
 from ..db.txn import validate_cc_mode
+from ..simulator.topology import validate_placement
 from ..simulator.trace import Workload
 from . import tracestore
 from .contention import SkewSpec, as_skew
@@ -290,7 +291,8 @@ def dss_parallel_query(scale: float = 1.0, n_partitions: int = 1,
 
 def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
                  n_clients: int | None = None, skew: SkewSpec | None = None,
-                 cc_mode: str = "2pl") -> Workload:
+                 cc_mode: str = "2pl",
+                 placement: str = "shared-everything") -> Workload:
     """Dispatch: (kind, regime) -> the matching bundle.
 
     Args:
@@ -301,11 +303,18 @@ def workload_for(kind: str, regime: str, scale: float, seed: int | None = None,
         n_clients: Override the paper's client count (saturated only).
         skew: Optional contention knobs (OLTP only).
         cc_mode: Concurrency-control mode (OLTP only; default ``"2pl"``).
+        placement: Islands deployment placement.  Validated here for
+            eager-failure parity with the machine layer, but traces are
+            placement-invariant (placement decides where clients *run*
+            and where data is *homed*, not what they reference), so the
+            built bundle — and its cache coordinate — never depends on
+            it.
     """
     if kind not in ("oltp", "dss"):
         raise ValueError(f"unknown workload kind {kind!r}")
     if regime not in ("saturated", "unsaturated"):
         raise ValueError(f"unknown regime {regime!r}")
+    validate_placement(placement)
     skew_spec = as_skew(skew)
     validate_cc_mode(cc_mode)
     contended = skew_spec.active or cc_mode != "2pl"

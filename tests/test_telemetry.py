@@ -181,7 +181,8 @@ class TestEventSchema:
             "spec_failed", "shm_create", "shm_attach", "shm_cleanup",
             "cache_hit", "cache_miss", "cache_store",
             "svc_request", "svc_answer", "svc_shed", "svc_coalesce",
-            "svc_sim_fail", "svc_breaker", "contention_point"}
+            "svc_sim_fail", "svc_breaker", "contention_point",
+            "island_point"}
 
 
 # ---------------------------------------------------------------------- #
